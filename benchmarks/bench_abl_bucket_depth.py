@@ -1,0 +1,19 @@
+"""Ablation: bucket depth vs short-term fairness (Section 4.5)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_abl_bucket_depth(benchmark, report):
+    result = run_once(
+        benchmark, lambda: ablations.run_bucket_depth(seed=1, seconds=12.0)
+    )
+    report("abl_bucket_depth", ablations.render_bucket_depth(result))
+    depths = sorted(result.fairness)
+    shallow = result.fairness[depths[0]]
+    deepest = result.fairness[depths[-1]]
+    # Long-term fairness holds for sane depths; very deep buckets allow
+    # long bursts and degrade the short-window Jain index.
+    assert shallow[0] > 0.95
+    assert deepest[1] <= shallow[1] + 0.02

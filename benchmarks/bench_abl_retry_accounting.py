@@ -1,0 +1,24 @@
+"""Ablation: uplink retry information (the Exp-TBR vs Eq12 gap).
+
+Paper Section 5: "Without the retransmission information, TBR in this
+case slightly biased the node sending at a lower data rate, thus
+decreasing the total throughput by a small amount compared to Eq12."
+"""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_abl_retry_accounting(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_retry_accounting(seed=1, seconds=15.0),
+    )
+    report("abl_retry_accounting", ablations.render_retry_accounting(result))
+    # Blind accounting favours the lossy slow node; oracle accounting
+    # (true attempt counts) restores the fast node and the total.
+    assert result.slow_node_bias() > 0.0
+    blind_total = sum(result.throughput["blind"].values())
+    oracle_total = sum(result.throughput["oracle"].values())
+    assert oracle_total > blind_total

@@ -1,0 +1,19 @@
+"""Ablation: strict Figure 6 dequeue vs immediate borrowing."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_abl_work_conservation(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_work_conservation(seed=1, seconds=15.0),
+    )
+    report("abl_work_conservation", ablations.render_work_conservation(result))
+    strict = result.throughput["strict"]
+    borrowing = result.throughput["borrowing"]
+    # Borrowing re-releases withheld TCP acks and collapses back to
+    # throughput fairness; strict mode keeps the TF gain.
+    assert sum(strict.values()) > 1.5 * sum(borrowing.values())
+    assert abs(borrowing["n1"] - borrowing["n2"]) < 0.3

@@ -1,0 +1,17 @@
+"""Extension: 802.11b/g mixed cells (the paper's motivation)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_ext_bg_coexistence(benchmark, report):
+    result = run_once(
+        benchmark, lambda: ablations.run_bg_coexistence(seed=1, seconds=15.0)
+    )
+    report("ext_bg_coexistence", ablations.render_bg_coexistence(result))
+    # Stock AP: the g client is dragged to b-class throughput (or
+    # worse); TBR restores several-fold more.
+    assert result.throughput["normal"]["g1"] < 1.0
+    assert result.g_recovery() > 3.0
+    assert result.throughput["tbr"]["g1"] > 3.0

@@ -1,0 +1,26 @@
+"""Extension: the client agent for uplink UDP (Section 4.1)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_ext_client_cooperation(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: ablations.run_client_cooperation(seed=1, seconds=15.0),
+    )
+    report(
+        "ext_client_cooperation",
+        ablations.render_client_cooperation(result),
+    )
+    # Without cooperation the slow UDP source keeps DCF's outsized
+    # share; the notification bit pulls it down and the fast station's
+    # throughput up.
+    assert result.slow_occupancy("client-agent") < (
+        result.slow_occupancy("no-agent") - 0.2
+    )
+    assert (
+        result.throughput["client-agent"]["n2"]
+        > 2.0 * result.throughput["no-agent"]["n2"]
+    )

@@ -1,0 +1,24 @@
+"""Extension: the OAR related-work baseline vs TBR (uplink UDP)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_ext_oar_baseline(benchmark, report):
+    result = run_once(
+        benchmark, lambda: ablations.run_oar_comparison(seed=1, seconds=15.0)
+    )
+    report("ext_oar_baseline", ablations.render_oar_comparison(result))
+    dcf = result.throughput["dcf"]
+    oar = result.throughput["oar"]
+    tbr = result.throughput["tbr"]
+    # DCF: throughput-fair; OAR and TBR: time-fair (fast node restored).
+    assert abs(dcf["n1"] - dcf["n2"]) < 0.3
+    assert oar["n2"] > 3.0 * oar["n1"]
+    assert tbr["n2"] > 2.0 * tbr["n1"]
+    # OAR's bursting amortizes contention: highest aggregate of the three.
+    assert sum(oar.values()) > sum(tbr.values()) > sum(dcf.values())
+    # OAR holds near-equal time shares.
+    occ = result.occupancy["oar"]
+    assert occ["n1"] / occ["n2"] < 1.6

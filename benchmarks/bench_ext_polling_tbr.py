@@ -1,0 +1,23 @@
+"""Extension: TBR dictating the poll order of a PCF-style MAC."""
+
+import pytest
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_ext_polling_tbr(benchmark, report):
+    result = run_once(
+        benchmark, lambda: ablations.run_polling_tbr(seed=1, seconds=5.0)
+    )
+    report("ext_polling_tbr", ablations.render_polling_tbr(result))
+    rr = result.throughput["rr-poll"]
+    tbr = result.throughput["tbr-poll"]
+    # Round-robin polling reproduces the anomaly (equal throughputs);
+    # token-driven polling restores time fairness with unmodified
+    # clients — the paper's Section 4.1 observation.
+    assert rr["n1"] == pytest.approx(rr["n2"], rel=0.1)
+    assert tbr["n2"] > 4.0 * tbr["n1"]
+    assert sum(tbr.values()) > 1.5 * sum(rr.values())
+    assert result.charged_time_ratio["tbr-poll"] == pytest.approx(1.0, rel=0.3)

@@ -1,0 +1,17 @@
+"""Extension: weighted channel-time shares (Section 4.5 QoS)."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+
+def bench_ext_weighted_shares(benchmark, report):
+    result = run_once(
+        benchmark, lambda: ablations.run_weighted_shares(seed=1, seconds=15.0)
+    )
+    report("ext_weighted_shares", ablations.render_weighted_shares(result))
+    # A 3:1 weight shows up as a clear occupancy and throughput bias
+    # (the ratio undershoots 3.0 slightly because contention overhead
+    # is unweighted).
+    assert result.occupancy_ratio() > 2.0
+    assert result.throughput["n1"] > 2.0 * result.throughput["n2"]

@@ -1,0 +1,14 @@
+"""Figure 1: rate diversity in workshop traces and the EXP-1 office."""
+
+from repro.experiments import fig1
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig01_rate_diversity(benchmark, report):
+    result = run_once(benchmark, lambda: fig1.run(seed=1, seconds=20.0))
+    report("fig01_rate_diversity", fig1.render(result))
+    # Paper: WS-2 carries >30% of bytes below 11 Mbps; EXP-1 carries
+    # >50% at 1 Mbps.
+    assert result.below_11_fraction("WS-2") > 0.30
+    assert result.at_1_fraction("EXP-1") > 0.50

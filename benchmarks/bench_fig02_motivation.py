@@ -1,0 +1,23 @@
+"""Figure 2: the multi-rate anomaly (11vs11 vs 1vs11, TCP uplink)."""
+
+import pytest
+
+from repro.experiments import fig2
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig02_motivation(benchmark, report):
+    result = run_once(benchmark, lambda: fig2.run(seed=1, seconds=15.0))
+    report("fig02_motivation", fig2.render(result))
+    # Paper shape: 11vs11 ~5.08 total; 1vs11 ~1.34 total; slow node
+    # occupies ~6.4x the fast node's channel time.
+    assert result.same_rate.total_mbps == pytest.approx(
+        fig2.PAPER_TOTAL_11V11, rel=0.15
+    )
+    assert result.mixed.total_mbps == pytest.approx(
+        fig2.PAPER_TOTAL_11V1, rel=0.15
+    )
+    assert result.channel_time_ratio == pytest.approx(
+        fig2.PAPER_CHANNEL_TIME_RATIO_11V1, rel=0.3
+    )

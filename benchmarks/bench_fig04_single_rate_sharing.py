@@ -1,0 +1,20 @@
+"""Figure 4: three same-rate nodes share equally in all four configs."""
+
+from repro.experiments import fig4
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig04_single_rate_sharing(benchmark, report):
+    result = run_once(benchmark, lambda: fig4.run(seed=1, seconds=15.0))
+    report("fig04_single_rate_sharing", fig4.render(result))
+    for config, res in result.runs.items():
+        thr = list(res.throughput_mbps.values())
+        spread = (max(thr) - min(thr)) / (sum(thr) / 3)
+        assert spread < 0.35, f"{config}: unequal shares {thr}"
+    # Paper's orderings: UDP > TCP (ack overhead), up > down (the AP's
+    # mandatory post-tx backoff caps a single sender).
+    assert result.runs["udp_up"].total_mbps > result.runs["tcp_up"].total_mbps
+    assert result.runs["udp_down"].total_mbps > result.runs["tcp_down"].total_mbps
+    assert result.runs["udp_up"].total_mbps > result.runs["udp_down"].total_mbps
+    assert result.runs["tcp_up"].total_mbps > result.runs["tcp_down"].total_mbps

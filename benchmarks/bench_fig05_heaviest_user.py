@@ -1,0 +1,17 @@
+"""Figure 5: heaviest-user share of busy 1-second intervals."""
+
+from repro.experiments import fig5
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig05_heaviest_user(benchmark, report):
+    result = run_once(benchmark, lambda: fig5.run(seed=1))
+    report("fig05_heaviest_user", fig5.render(result))
+    # Paper's reading of the Whittemore data: the heaviest user moves
+    # the majority of bytes on average, yet rarely saturates a busy
+    # second alone — other users are active in most busy intervals.
+    assert len(result.intervals) > 200
+    assert result.mean_heaviest_fraction > 0.5
+    assert result.solo_fraction < 0.2
+    assert result.multi_user_fraction > 0.8

@@ -1,0 +1,14 @@
+"""Figure 8: TBR adds no overhead in same-rate cells (up and down)."""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig08_same_rate_tbr(benchmark, report):
+    result = run_once(benchmark, lambda: fig8.run(seed=1, seconds=12.0))
+    report("fig08_same_rate_tbr", fig8.render(result))
+    # Paper: "Exp-TBR and Exp-Normal yield almost identical results".
+    for (direction, rate) in result.runs:
+        overhead = result.overhead_fraction(direction, rate)
+        assert abs(overhead) < 0.1, (direction, rate, overhead)

@@ -1,0 +1,40 @@
+"""Figure 9: the headline result — TBR vs Normal vs Eq6/Eq12."""
+
+import pytest
+
+from repro.analysis.baseline import PAPER_TABLE2_TCP_MBPS
+from repro.experiments import fig9
+
+from benchmarks.conftest import run_once
+
+
+def bench_fig09_multirate_tbr(benchmark, report):
+    result = run_once(benchmark, lambda: fig9.run(seed=1, seconds=15.0))
+    report("fig09_multirate_tbr", fig9.render(result))
+
+    for direction in fig9.DIRECTIONS:
+        # Gains ordered and sized as in the paper (+103/+35/+6 %).
+        gains = {
+            pair: result.improvement(direction, pair) for pair in fig9.PAIRS
+        }
+        assert gains[(1.0, 11.0)] > 0.6
+        assert gains[(1.0, 11.0)] > gains[(2.0, 11.0)] > gains[(5.5, 11.0)] - 0.05
+        assert gains[(5.5, 11.0)] < 0.2
+
+        # Exp-Normal tracks Eq6; Exp-TBR tracks Eq12.
+        for pair in fig9.PAIRS:
+            models = fig9.model_predictions(pair)
+            entry = result.runs[(direction, pair)]
+            assert entry["normal"].total_mbps == pytest.approx(
+                sum(models["eq6"].values()), rel=0.2
+            )
+            assert entry["tbr"].total_mbps == pytest.approx(
+                sum(models["eq12"].values()), rel=0.2
+            )
+
+    # Baseline property: the slow node's TF throughput equals half the
+    # 1 Mbps baseline regardless of the fast peer.
+    tf_1v11 = result.runs[("up", (1.0, 11.0))]["tbr"]
+    assert tf_1v11.throughput_mbps["n1"] == pytest.approx(
+        PAPER_TABLE2_TCP_MBPS[1.0] / 2, rel=0.3
+    )

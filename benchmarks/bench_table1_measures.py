@@ -1,0 +1,22 @@
+"""Table 1: fairness/efficiency criteria under RF vs TF (task model)."""
+
+import pytest
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def bench_table1_measures(benchmark, report):
+    result = run_once(benchmark, lambda: table1.run(seed=1, max_seconds=120.0))
+    report("table1_measures", table1.render(result))
+    # The paper's qualitative table, row by row.
+    assert result.rf.throughput_gap < result.tf.throughput_gap  # RF better
+    assert result.tf.time_gap < result.rf.time_gap  # TF better
+    assert result.tf.final_task_time_s == pytest.approx(
+        result.rf.final_task_time_s, rel=0.1
+    )  # same
+    assert result.tf.avg_task_time_s < 0.8 * result.rf.avg_task_time_s  # TF better
+    # Analytic fluid model agrees with the simulation within 15%.
+    analytic_tf = result.analytic["tf"].avg_task_time_us / 1e6
+    assert result.tf.avg_task_time_s == pytest.approx(analytic_tf, rel=0.15)

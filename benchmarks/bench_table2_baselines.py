@@ -1,0 +1,18 @@
+"""Table 2: measured baseline throughputs beta(d, 1500, 2)."""
+
+import pytest
+
+from repro.experiments import table2
+
+from benchmarks.conftest import run_once
+
+
+def bench_table2_baselines(benchmark, report):
+    result = run_once(benchmark, lambda: table2.run(seed=1, seconds=15.0))
+    report("table2_baselines", table2.render(result))
+    # Simulated baselines within 10% of the paper's measurements, and
+    # strictly ordered by rate.
+    for rate, paper in result.paper_mbps.items():
+        assert result.measured_mbps[rate] == pytest.approx(paper, rel=0.10)
+    ordered = [result.measured_mbps[r] for r in sorted(result.measured_mbps)]
+    assert ordered == sorted(ordered)

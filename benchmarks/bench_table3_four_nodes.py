@@ -1,0 +1,28 @@
+"""Table 3: four nodes (1, 2, 11, 11) under both fairness notions."""
+
+import pytest
+
+from repro.experiments import table3
+
+from benchmarks.conftest import run_once
+
+
+def bench_table3_four_nodes(benchmark, report):
+    result = run_once(benchmark, lambda: table3.run(seed=1, seconds=20.0))
+    report("table3_four_nodes", table3.render(result))
+
+    # The analytic table reproduces the paper exactly.
+    pred = result.prediction
+    assert pred.rf_total == pytest.approx(table3.PAPER_RF_TOTAL, abs=0.01)
+    assert pred.tf_total == pytest.approx(table3.PAPER_TF_TOTAL, abs=0.01)
+    assert pred.improvement == pytest.approx(0.82, abs=0.01)
+
+    # The simulation reproduces the shape: RF equalizes, TF restores
+    # the fast nodes, slow node keeps its all-slow-cell baseline.
+    rf = result.simulated_rf.throughput_mbps
+    tf = result.simulated_tf.throughput_mbps
+    assert max(rf.values()) - min(rf.values()) < 0.25
+    assert tf["n3"] > 2.5 * rf["n3"]
+    assert tf["n1"] == pytest.approx(table3.PAPER_TF["n1"], rel=0.4)
+    gain = result.simulated_tf.total_mbps / result.simulated_rf.total_mbps - 1
+    assert gain > 0.5

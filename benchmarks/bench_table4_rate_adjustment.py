@@ -1,0 +1,22 @@
+"""Table 4: TBR's token-rate adjustment under unequal demand."""
+
+import pytest
+
+from repro.experiments import table4
+
+from benchmarks.conftest import run_once
+
+
+def bench_table4_rate_adjustment(benchmark, report):
+    result = run_once(benchmark, lambda: table4.run(seed=1, seconds=15.0))
+    report("table4_rate_adjustment", table4.render(result))
+    # Paper: "There is no significant difference between the two sets of
+    # results" — TBR must not cap the unconstrained flow at 50%.
+    for which in ("normal", "tbr"):
+        thr = result.throughput[which]
+        paper = table4.PAPER[which]
+        assert thr["n2"] == pytest.approx(paper["n2"], rel=0.1)
+        assert thr["n1"] == pytest.approx(paper["n1"], rel=0.1)
+    assert result.throughput["tbr"]["n1"] == pytest.approx(
+        result.throughput["normal"]["n1"], rel=0.05
+    )

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the paper-vs-measured rendering, and stores it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the artifacts.
+Simulations are deterministic and expensive, so each benchmark runs
+exactly once (``benchmark.pedantic(rounds=1, iterations=1)``); the
+timing numbers measure the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a rendered experiment and persist it to results/."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Trace-driven evidence that rate diversity and congestion co-occur.
+
+Recreates the paper's Section 3 in three steps:
+
+1. synthesize workshop-session traces and report byte-per-rate mixes
+   (Figure 1's WS bars);
+2. *simulate* the EXP-1 office — an AP saturating four receivers behind
+   walls, with ARF rate adaptation over an SNR-driven channel — and
+   sniff the air to get the EXP-1 bar;
+3. synthesize a dorm-day trace and run the busy-interval /
+   heaviest-user analysis (Figure 5).
+
+Run:  python examples/hotspot_workshop.py
+"""
+
+import statistics
+
+from repro.experiments import fig1
+from repro.traces import (
+    DormTraceConfig,
+    WorkshopTraceConfig,
+    busy_intervals,
+    generate_dorm_trace,
+    generate_workshop_trace,
+    heaviest_user_fractions,
+    rate_fractions,
+)
+
+
+def main() -> None:
+    print("1) Workshop sessions (synthetic, calibrated to Figure 1):")
+    for session in ("WS-1", "WS-2", "WS-3"):
+        config = WorkshopTraceConfig(
+            session=session, total_bytes=20_000_000, n_users=20
+        )
+        records = generate_workshop_trace(config, seed=7)
+        mix = rate_fractions(records)
+        bars = ", ".join(
+            f"{rate:g}M: {frac * 100:4.1f}%" for rate, frac in mix.items()
+        )
+        print(f"   {session}: {bars}")
+
+    print("\n2) EXP-1 (live simulation: ARF + walls + SNR loss):")
+    fractions = fig1.run_exp1(seed=7, seconds=15)
+    for rate in (1.0, 2.0, 5.5, 11.0):
+        share = fractions.get(rate, 0.0)
+        bar = "#" * int(share * 40)
+        print(f"   {rate:4g} Mbps {share * 100:5.1f}% {bar}")
+    below = sum(f for r, f in fractions.items() if r < 11.0)
+    print(f"   -> {below * 100:.0f}% of bytes below 11 Mbps "
+          f"(paper: >50% at 1 Mbps alone)")
+
+    print("\n3) Dorm day (synthetic) — are busy seconds single-user?")
+    records = generate_dorm_trace(DormTraceConfig(), seed=7)
+    intervals = busy_intervals(records, threshold_mbps=4.0)
+    fractions5 = heaviest_user_fractions(records)
+    multi = sum(1 for i in intervals if i.active_stations > 1)
+    print(f"   busy 1-second intervals (>4 Mbps): {len(intervals)}")
+    print(f"   heaviest user's mean share: "
+          f"{statistics.mean(fractions5) * 100:.0f}%")
+    print(f"   intervals with >1 active user: "
+          f"{multi / len(intervals) * 100:.0f}%")
+    print(
+        "\nConclusion (as in the paper): congested periods almost always "
+        "involve several users,\nand rates are diverse — so the multi-rate "
+        "anomaly matters in practice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the multi-rate anomaly, and TBR fixing it.
+
+Builds the paper's motivating scenario — a 1 Mbps laptop and an
+11 Mbps laptop uploading files through the same access point — first
+with a stock AP, then with the Time-based Regulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.node import Cell
+
+
+def run_case(scheduler: str) -> Cell:
+    cell = Cell(seed=42, scheduler=scheduler)
+    slow = cell.add_station("slow", rate_mbps=1.0)
+    fast = cell.add_station("fast", rate_mbps=11.0)
+    cell.tcp_flow(slow, direction="up")
+    cell.tcp_flow(fast, direction="up")
+    cell.run(seconds=12, warmup_seconds=3)
+    return cell
+
+
+def describe(label: str, cell: Cell) -> None:
+    thr = cell.station_throughputs_mbps()
+    occ = cell.occupancy_fractions()
+    print(f"--- {label} ---")
+    for name in ("slow", "fast"):
+        print(
+            f"  {name:5}: {thr[name]:5.2f} Mbps goodput, "
+            f"{occ[name] * 100:4.1f}% of channel time"
+        )
+    print(f"  total: {sum(thr.values()):5.2f} Mbps")
+    print()
+
+
+def main() -> None:
+    print("Two stations upload over TCP: one at 1 Mbps, one at 11 Mbps.\n")
+
+    normal = run_case("fifo")
+    describe("Stock AP (DCF throughput fairness)", normal)
+
+    tbr = run_case("tbr")
+    describe("AP with TBR (time-based fairness)", tbr)
+
+    gain = (
+        sum(tbr.station_throughputs_mbps().values())
+        / sum(normal.station_throughputs_mbps().values())
+        - 1.0
+    )
+    print(
+        f"TBR improves aggregate throughput by {gain * 100:.0f}% "
+        f"(the paper reports ~100% for this scenario),\n"
+        f"while the slow station still gets what it would in an "
+        f"all-1-Mbps cell (the baseline property)."
+    )
+
+
+if __name__ == "__main__":
+    main()

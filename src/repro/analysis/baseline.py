@@ -1,0 +1,110 @@
+"""Baseline throughput β(d, s, I).
+
+The paper defines β(d, s, I) as the maximum total throughput achieved
+when every node in I uses data rate ``d`` and packet size ``s`` under
+similar (low) loss.  It is measured experimentally in Table 2 for TCP
+with 1500-byte packets and two competing nodes, and can also be derived
+from MAC timing; both sources are provided here and the experiments
+compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.phy.phy import (
+    DOT11B_LONG_PREAMBLE,
+    PhyParams,
+    ack_airtime_us,
+    ack_rate_for,
+    frame_airtime_us,
+)
+
+#: Paper Table 2: measured two-node TCP baseline throughputs (Mbps) for
+#: 1500-byte packets at each 802.11b rate.
+PAPER_TABLE2_TCP_MBPS: Dict[float, float] = {
+    11.0: 5.189,
+    5.5: 3.327,
+    2.0: 1.493,
+    1.0: 0.806,
+}
+
+
+@dataclass(frozen=True)
+class BaselineModel:
+    """Analytic β from MAC/PHY timing.
+
+    The per-exchange channel time of one data packet is::
+
+        DIFS + T_data(s, d) + SIFS + T_ack + gap(n)
+
+    where ``gap(n)`` is the average contention idle time per
+    transmission with ``n`` saturated contenders (the expected minimum
+    of n uniform backoff draws, ``slot * cw_min / 2 / (n + 1)`` to first
+    order).  TCP adds one ~40-byte ack exchange per ``delack`` data
+    packets and subtracts TCP/IP header bytes from goodput.
+    """
+
+    phy: PhyParams = DOT11B_LONG_PREAMBLE
+    tcp_header_bytes: int = 40
+    tcp_ack_bytes: int = 40
+    delack_segments: int = 2
+
+    def contention_gap_us(self, n_nodes: int) -> float:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        return self.phy.slot_us * self.phy.cw_min / 2.0 / (n_nodes + 1)
+
+    def exchange_time_us(
+        self, payload_bytes: int, rate_mbps: float, n_nodes: int
+    ) -> float:
+        """Channel time for one data packet exchange at saturation."""
+        data = frame_airtime_us(self.phy, payload_bytes, rate_mbps)
+        ack = ack_airtime_us(self.phy, ack_rate_for(self.phy, rate_mbps))
+        return (
+            self.phy.difs_us
+            + data
+            + self.phy.sifs_us
+            + ack
+            + self.contention_gap_us(n_nodes)
+        )
+
+    def udp_baseline_mbps(
+        self, rate_mbps: float, packet_bytes: int = 1500, n_nodes: int = 2
+    ) -> float:
+        """Aggregate UDP throughput with n same-rate saturated nodes."""
+        per_packet = self.exchange_time_us(packet_bytes, rate_mbps, n_nodes)
+        return packet_bytes * 8.0 / per_packet
+
+    def tcp_baseline_mbps(
+        self, rate_mbps: float, packet_bytes: int = 1500, n_nodes: int = 2
+    ) -> float:
+        """Aggregate TCP goodput with n same-rate saturated nodes.
+
+        Per ``delack_segments`` data packets the channel also carries
+        one TCP-ack packet exchange; goodput counts MSS payload only.
+        """
+        mss = packet_bytes - self.tcp_header_bytes
+        data_time = self.exchange_time_us(packet_bytes, rate_mbps, n_nodes)
+        ack_time = self.exchange_time_us(self.tcp_ack_bytes, rate_mbps, n_nodes)
+        k = self.delack_segments
+        total = k * data_time + ack_time
+        return k * mss * 8.0 / total
+
+
+def analytic_baseline_mbps(
+    rate_mbps: float,
+    packet_bytes: int = 1500,
+    n_nodes: int = 2,
+    *,
+    transport: str = "tcp",
+    model: Optional[BaselineModel] = None,
+) -> float:
+    """β(d, s, I) from timing; ``transport`` is ``"tcp"`` or ``"udp"``."""
+    model = model if model is not None else BaselineModel()
+    if transport == "tcp":
+        return model.tcp_baseline_mbps(rate_mbps, packet_bytes, n_nodes)
+    if transport == "udp":
+        return model.udp_baseline_mbps(rate_mbps, packet_bytes, n_nodes)
+    raise ValueError(f"unknown transport {transport!r}")

@@ -1,0 +1,50 @@
+"""Fairness measures.
+
+The paper's fairness measure between equal-priority nodes i and j over
+an interval is |φ_i - φ_j| where φ is the achieved share of the chosen
+resource (throughput for RF, channel time for TF).  Jain's index
+(the paper's reference [14]) summarizes n-node allocations in [1/n, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Values = Union[Sequence[float], Dict[str, float]]
+
+
+def _as_list(values: Values) -> List[float]:
+    if isinstance(values, dict):
+        return list(values.values())
+    return list(values)
+
+
+def jain_index(values: Values) -> float:
+    """Jain, Chiu & Hawe's fairness index: (Σx)² / (n·Σx²)."""
+    xs = _as_list(values)
+    if not xs:
+        raise ValueError("need at least one value")
+    if any(x < 0 for x in xs):
+        raise ValueError("values must be non-negative")
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(xs) * squares)
+
+
+def max_min_gap(values: Values) -> float:
+    """The paper's pairwise measure, maximized: max_i,j |φ_i - φ_j|."""
+    xs = _as_list(values)
+    if not xs:
+        raise ValueError("need at least one value")
+    return max(xs) - min(xs)
+
+
+def normalized_gap(values: Values) -> float:
+    """max-min gap normalized by the mean (0 = perfectly fair)."""
+    xs = _as_list(values)
+    mean = sum(xs) / len(xs)
+    if mean == 0:
+        return 0.0
+    return max_min_gap(xs) / mean

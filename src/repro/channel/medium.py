@@ -1,0 +1,173 @@
+"""The broadcast medium.
+
+All attached listeners (MAC entities) share one carrier.  The channel
+tracks the set of in-flight transmissions:
+
+* it is *busy* whenever at least one transmission is active;
+* two transmissions that overlap in time corrupt each other (no capture
+  by default; an optional capture callback can rescue the stronger
+  frame);
+* at the end of each transmission every listener is told about the
+  frame (``on_frame_end``), with per-listener corruption flags — the
+  intended receiver additionally samples the link loss model.
+
+Timestamp conventions: ``on_busy(busy_start)`` is invoked synchronously
+when the medium transitions idle->busy.  A MAC whose own transmit event
+is scheduled for exactly ``busy_start`` is already committed to that slot
+and must not treat the notification as carrier (slot-synchronous
+collision, see ``repro.mac.dcf``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, TYPE_CHECKING
+
+from repro.sim import Simulator, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frames import Frame
+
+
+class ChannelListener(Protocol):
+    """Interface a MAC exposes to the channel."""
+
+    address: str
+
+    def on_busy(self, busy_start: float) -> None:
+        """Medium went idle -> busy at ``busy_start`` (== sim.now)."""
+
+    def on_idle(self, idle_start: float) -> None:
+        """Medium went busy -> idle at ``idle_start`` (== sim.now)."""
+
+    def on_frame_end(self, frame: "Frame", corrupted: bool) -> None:
+        """A transmission finished; ``corrupted`` is this listener's view."""
+
+
+class Transmission:
+    """One in-flight frame."""
+
+    __slots__ = ("frame", "sender", "start", "end", "collided")
+
+    def __init__(self, frame: "Frame", sender: str, start: float, end: float) -> None:
+        self.frame = frame
+        self.sender = sender
+        self.start = start
+        self.end = end
+        self.collided = False
+
+
+class Channel:
+    """Zero-delay broadcast medium with overlap collisions."""
+
+    def __init__(self, sim: Simulator, loss_model=None, *, sniffers=None) -> None:
+        from repro.channel.loss import NoLoss
+
+        self.sim = sim
+        self.loss = loss_model if loss_model is not None else NoLoss()
+        self.listeners: List[ChannelListener] = []
+        self.active: List[Transmission] = []
+        self._last_tx_end: dict = {}
+        self.busy_start: Optional[float] = None
+        self._busy_accum = 0.0
+        self._sniffers: List[Callable] = list(sniffers or [])
+        #: optional capture: callable(winner_candidates) -> Transmission or
+        #: None; invoked on overlap, may spare one frame from collision.
+        self.capture_rule: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, listener: ChannelListener) -> None:
+        if listener in self.listeners:
+            raise ValueError(f"listener {listener!r} already attached")
+        self.listeners.append(listener)
+
+    def add_sniffer(self, sniffer: Callable) -> None:
+        """Register ``sniffer(frame, corrupted, start, end)`` observers."""
+        self._sniffers.append(sniffer)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.active)
+
+    def busy_fraction(self) -> float:
+        """Fraction of elapsed simulation time the medium was busy."""
+        total = self.sim.now
+        if total <= 0:
+            return 0.0
+        accum = self._busy_accum
+        if self.busy and self.busy_start is not None:
+            accum += self.sim.now - self.busy_start
+        return accum / total
+
+    # ------------------------------------------------------------------
+    def transmit(self, frame: "Frame", duration: float) -> Transmission:
+        """Begin transmitting ``frame``; it ends ``duration`` us from now.
+
+        Called by a MAC that has decided to transmit *this instant*.
+        Collision marking and busy notification happen synchronously; the
+        frame-end event is scheduled at PHY priority.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        now = self.sim.now
+        tx = Transmission(frame, frame.src, now, now + duration)
+        prev_end = self._last_tx_end.get(frame.src, 0.0)
+        self._last_tx_end[frame.src] = max(prev_end, tx.end)
+        was_idle = not self.active
+        if self.active:
+            # Overlap: everyone still in the air (and the newcomer) collides.
+            survivors = self._apply_capture(tx)
+            for other in self.active:
+                if other not in survivors:
+                    other.collided = True
+            if tx not in survivors:
+                tx.collided = True
+        self.active.append(tx)
+        if was_idle:
+            self.busy_start = now
+            for listener in self.listeners:
+                listener.on_busy(now)
+        self.sim.schedule(duration, self._end, tx, priority=EventPriority.PHY)
+        return tx
+
+    def _apply_capture(self, newcomer: Transmission) -> List[Transmission]:
+        if self.capture_rule is None:
+            return []
+        winner = self.capture_rule(list(self.active) + [newcomer])
+        return [winner] if winner is not None else []
+
+    # ------------------------------------------------------------------
+    def _end(self, tx: Transmission) -> None:
+        self.active.remove(tx)
+        now = self.sim.now
+        went_idle = not self.active
+        if went_idle and self.busy_start is not None:
+            self._busy_accum += now - self.busy_start
+            self.busy_start = None
+
+        dest_corrupted = tx.collided
+        if not dest_corrupted:
+            dest_corrupted = self.loss.is_lost(tx.frame)
+
+        for sniffer in self._sniffers:
+            sniffer(tx.frame, dest_corrupted, tx.collided, tx.start, tx.end)
+
+        # Deliver frame-end to every listener.  Non-destination observers
+        # see collision corruption (they could not decode either) but not
+        # the destination's private link loss.  A listener whose own
+        # transmission overlapped this frame was half-duplex deaf and
+        # receives nothing (in particular, a collided sender does not
+        # observe the peer's corrupted frame and retries after DIFS, not
+        # EIFS, exactly as a real station that decoded no energy).
+        for listener in self.listeners:
+            if listener.address == tx.frame.src:
+                continue
+            if self._last_tx_end.get(listener.address, 0.0) > tx.start + 1e-9:
+                continue
+            if listener.address == tx.frame.dst:
+                listener.on_frame_end(tx.frame, dest_corrupted)
+            else:
+                listener.on_frame_end(tx.frame, tx.collided)
+
+        if went_idle:
+            for listener in self.listeners:
+                listener.on_idle(now)

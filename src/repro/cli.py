@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig9 [--seed 2] [--seconds 10]
+    python -m repro all  [--seed 1]
+
+Each experiment prints the same paper-vs-measured rendering the
+benchmark harness stores under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import List, Optional
+
+from repro.experiments import REGISTRY
+
+
+def _call_run(module, seed: int, seconds: Optional[float]):
+    """Invoke ``module.run`` with whichever knobs it supports."""
+    params = inspect.signature(module.run).parameters
+    kwargs = {"seed": seed}
+    if seconds is not None:
+        if "seconds" in params:
+            kwargs["seconds"] = seconds
+        elif "max_seconds" in params:
+            kwargs["max_seconds"] = seconds
+        elif "duration_s" in params:
+            kwargs["duration_s"] = seconds
+    return module.run(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the tables and figures of Tan & Guttag, "
+            "'Time-based Fairness Improves Performance in Multi-rate "
+            "WLANs' (USENIX '04)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="simulated duration per run (experiment default if omitted)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in REGISTRY.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        names = list(REGISTRY)
+    elif args.experiment in REGISTRY:
+        names = [args.experiment]
+    else:
+        valid = ", ".join(REGISTRY)
+        print(f"unknown experiment {args.experiment!r}; valid: {valid}, all, list",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        module = REGISTRY[name]
+        result = _call_run(module, args.seed, args.seconds)
+        print(module.render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

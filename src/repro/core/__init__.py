@@ -1,0 +1,19 @@
+"""The paper's contribution: TBR, the Time-based Regulator.
+
+TBR runs at the AP above any MAC and provides each competing station an
+equal (or weighted) long-term share of channel occupancy time by
+regulating packet release with per-station leaky buckets denominated in
+microseconds of channel time (paper Section 4).
+"""
+
+from repro.core.token_bucket import TokenBucket
+from repro.core.tbr import TbrConfig, TbrScheduler
+from repro.core.rate_adjust import RateAdjuster, RateAdjustConfig
+
+__all__ = [
+    "TokenBucket",
+    "TbrConfig",
+    "TbrScheduler",
+    "RateAdjuster",
+    "RateAdjustConfig",
+]

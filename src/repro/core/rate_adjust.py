@@ -1,0 +1,147 @@
+"""ADJUSTRATEEVENT: max-min token-rate re-distribution.
+
+Paper Section 4.3 / Figure 7: periodically, TBR finds stations that are
+*under-utilizing* their assigned token rate, takes half of the smallest
+such excess from the most-under-utilizing station, and spreads it
+equally over the stations that consumed (close to) their full
+assignment.  Repeating this converges to a max-min fair allocation of
+channel time without ever needing to know true demands — the
+incremental scheme of Bertsekas & Gallager the paper cites.
+
+One engineering detail the paper leaves unspecified matters a lot: a
+station's *charged* spend rate structurally undershoots its assigned
+rate even when it is saturating, because contention overhead (backoff
+slots, collisions it loses) is not charged to anyone.  Classifying
+"actual < rate - Rth" alone therefore misfires on a station that is
+merely being crowded by a slower peer, and taking rate from it spirals
+the allocation back to throughput fairness.  The adjuster consequently
+only treats a station as under-utilized when it is also *inactive*:
+its spend is a small fraction of its assignment (``activity_floor``),
+or it is visibly idle (tokens pegged at the bucket cap, empty downlink
+queue, and no meaningful uplink traffic).  The TBR scheduler supplies
+that activity signal; see ``TbrScheduler._station_active``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.token_bucket import TokenBucket
+
+
+@dataclass
+class RateAdjustConfig:
+    """Tunables of the ADJUSTRATEEVENT policy."""
+
+    #: Rth: minimum (rate - actual) for a station to count as having
+    #: excess capacity at all.
+    threshold: float = 0.05
+    #: a station spending less than this fraction of its assigned rate
+    #: is considered inactive (demand-limited) even if other activity
+    #: signals are ambiguous.
+    activity_floor: float = 0.6
+    #: floor on any station's token rate (lets idle stations ramp back).
+    min_rate: float = 0.02
+    #: cap on the excess moved per event (keeps instantaneous flow
+    #: throughputs from swinging, the paper's "Emin not too big").
+    max_transfer: float = 0.25
+    #: each event first relaxes every rate this fraction of the way back
+    #: toward its configured (weighted) share.  Transfers are re-earned
+    #: every round by genuinely idle donors, so steady states are
+    #: unchanged, but a rate granted during a transient stall (e.g. a
+    #: TCP timeout burst) is returned within a few rounds instead of
+    #: ratcheting permanently.  This is also the *give-back* path the
+    #: paper's Figure 7 lacks: its transfers only ever flow away from
+    #: idle stations, so a late joiner facing a fully-utilizing peer
+    #: would otherwise wait forever for its share.
+    restore_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if not 0.0 < self.activity_floor <= 1.0:
+            raise ValueError("activity_floor must be in (0, 1]")
+        if not 0.0 <= self.min_rate < 1.0:
+            raise ValueError("min_rate must be in [0, 1)")
+        if not 0.0 < self.max_transfer <= 1.0:
+            raise ValueError("max_transfer must be in (0, 1]")
+        if not 0.0 <= self.restore_fraction <= 1.0:
+            raise ValueError("restore_fraction must be in [0, 1]")
+
+
+class RateAdjuster:
+    """Implements the paper's Figure 7 event."""
+
+    def __init__(self, config: Optional[RateAdjustConfig] = None) -> None:
+        self.config = config if config is not None else RateAdjustConfig()
+        self.adjustments = 0
+        self.last_transfer = 0.0
+
+    def adjust(
+        self,
+        buckets: List[TokenBucket],
+        now_us: float,
+        *,
+        is_active: Optional[Callable[[TokenBucket], bool]] = None,
+    ) -> Dict[str, float]:
+        """Run one ADJUSTRATEEVENT over ``buckets``; returns new rates.
+
+        ``is_active(bucket)`` reports whether the station showed real
+        demand during the window (see module docstring); stations both
+        having excess and being inactive are the donors.  Window usage
+        counters are reset as a side effect (the paper's
+        ``actual_j <- 0`` loop).
+        """
+        cfg = self.config
+        under: List[TokenBucket] = []
+        full: List[TokenBucket] = []
+        for bucket in buckets:
+            actual = bucket.actual_rate(now_us)
+            excess = bucket.rate - actual
+            if is_active is not None:
+                # The scheduler's demand signal is authoritative: a
+                # crowded-but-saturated station may show a low spend
+                # ratio (bursty peers, uncharged contention) yet must
+                # never donate its share.
+                inactive = not is_active(bucket)
+            else:
+                ratio = actual / bucket.rate if bucket.rate > 0 else 1.0
+                inactive = ratio < cfg.activity_floor
+            if excess >= cfg.threshold and inactive:
+                under.append(bucket)
+            else:
+                full.append(bucket)
+
+        self.last_transfer = 0.0
+        if under and full:
+            excesses = {b.station: b.rate - b.actual_rate(now_us) for b in under}
+            e_min = min(excesses.values())
+            donor = max(under, key=lambda b: excesses[b.station])
+            transfer = min(e_min / 2.0, cfg.max_transfer)
+            # Never push the donor below the floor.
+            transfer = min(transfer, max(0.0, donor.rate - cfg.min_rate))
+            if transfer > 0.0:
+                donor.rate -= transfer
+                share = transfer / len(full)
+                for bucket in full:
+                    bucket.rate += share
+                self.last_transfer = transfer
+                self.adjustments += 1
+
+        for bucket in buckets:
+            bucket.reset_window(now_us)
+        return {b.station: b.rate for b in buckets}
+
+    @staticmethod
+    def normalize(buckets: List[TokenBucket], total: float = 1.0) -> None:
+        """Rescale rates so they sum to ``total`` (guards drift)."""
+        current = sum(b.rate for b in buckets)
+        if current <= 0:
+            if buckets:
+                for b in buckets:
+                    b.rate = total / len(buckets)
+            return
+        factor = total / current
+        for b in buckets:
+            b.rate *= factor

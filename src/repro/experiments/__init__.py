@@ -1,0 +1,55 @@
+"""One module per paper figure/table, plus ablations and extensions.
+
+Every module exposes ``run(seed=..., ...) -> Result`` and
+``render(result) -> str``; the registry below lets tools iterate over
+all reproductions::
+
+    from repro.experiments import REGISTRY
+    for name, module in REGISTRY.items():
+        print(module.render(module.run(seed=1)))
+"""
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+    table4,
+    ablations,
+)
+
+REGISTRY = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig8": fig8,
+    "fig9": fig9,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+}
+
+__all__ = [
+    "REGISTRY",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "ablations",
+]

@@ -1,0 +1,115 @@
+"""Shared machinery for the per-figure/table experiment modules.
+
+Every experiment module in this package exposes::
+
+    run(seed=..., seconds=...) -> <Result dataclass>
+    render(result) -> str          # ASCII table(s), paper-vs-measured
+
+and module-level ``PAPER_*`` constants holding the values the paper
+reports, so benchmarks can assert *shape* (who wins, by what factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.tbr import TbrConfig
+from repro.node.cell import Cell
+from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
+
+
+@dataclass
+class CompetingResult:
+    """Outcome of one run of competing stations."""
+
+    scheduler: str
+    direction: str
+    rates: Dict[str, float]
+    throughput_mbps: Dict[str, float]
+    occupancy: Dict[str, float]
+    seconds: float
+    seed: int
+
+    @property
+    def total_mbps(self) -> float:
+        return sum(self.throughput_mbps.values())
+
+
+def run_competing(
+    rates: Union[Dict[str, float], Sequence[float]],
+    *,
+    direction: str = "up",
+    scheduler: str = "fifo",
+    transport: str = "tcp",
+    udp_rate_mbps: float = 4.0,
+    seconds: float = 15.0,
+    warmup_seconds: float = 3.0,
+    seed: int = 1,
+    tbr_config: Optional[TbrConfig] = None,
+    phy: PhyParams = DOT11B_LONG_PREAMBLE,
+) -> CompetingResult:
+    """Run n stations with one bulk flow each and measure the paper's
+    quantities (per-station goodput and channel occupancy)."""
+    if not isinstance(rates, dict):
+        rates = {f"n{i + 1}": r for i, r in enumerate(rates)}
+    cell = Cell(seed=seed, scheduler=scheduler, tbr_config=tbr_config, phy=phy)
+    for name, rate in rates.items():
+        station = cell.add_station(name, rate_mbps=rate)
+        if transport == "tcp":
+            cell.tcp_flow(station, direction=direction)
+        elif transport == "udp":
+            cell.udp_flow(station, direction=direction, rate_mbps=udp_rate_mbps)
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+    cell.run(seconds=seconds, warmup_seconds=warmup_seconds)
+    return CompetingResult(
+        scheduler=scheduler,
+        direction=direction,
+        rates=dict(rates),
+        throughput_mbps=cell.station_throughputs_mbps(),
+        occupancy=cell.occupancy_fractions(),
+        seconds=seconds,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering helpers
+# ----------------------------------------------------------------------
+def fmt_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_mbps(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def fmt_frac(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def fmt_pct(value: float) -> str:
+    return f"{value * 100:+.0f}%"
+
+
+def ratio_note(measured: float, paper: float) -> str:
+    """'measured (paper X, ratio Y)' comparison cell."""
+    if paper == 0:
+        return f"{measured:.3f}"
+    return f"{measured:.3f} (paper {paper:.3f}, x{measured / paper:.2f})"

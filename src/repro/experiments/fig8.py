@@ -1,0 +1,69 @@
+"""Figure 8: TBR adds no overhead in same-rate cells.
+
+Two stations at the same rate (1, 2, 5.5 or 11 Mbps), TCP in one
+direction, AP with and without TBR.  The paper: "Exp-TBR and Exp-Normal
+yield almost identical results, showing that TBR incurs little
+overhead."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.experiments.common import CompetingResult, fmt_table, run_competing
+
+RATES = (1.0, 2.0, 5.5, 11.0)
+DIRECTIONS = ("down", "up")
+
+
+@dataclass
+class Fig8Result:
+    #: keyed by (direction, rate) -> {"normal": ..., "tbr": ...}
+    runs: Dict[Tuple[str, float], Dict[str, CompetingResult]] = field(
+        default_factory=dict
+    )
+
+    def overhead_fraction(self, direction: str, rate: float) -> float:
+        """Relative total-throughput change TBR introduces (should ~ 0)."""
+        pair = self.runs[(direction, rate)]
+        normal = pair["normal"].total_mbps
+        if normal <= 0:
+            return 0.0
+        return pair["tbr"].total_mbps / normal - 1.0
+
+
+def run(seed: int = 1, seconds: float = 12.0) -> Fig8Result:
+    result = Fig8Result()
+    for direction in DIRECTIONS:
+        for rate in RATES:
+            result.runs[(direction, rate)] = {
+                "normal": run_competing(
+                    [rate, rate], direction=direction, scheduler="fifo",
+                    seconds=seconds, seed=seed,
+                ),
+                "tbr": run_competing(
+                    [rate, rate], direction=direction, scheduler="tbr",
+                    seconds=seconds, seed=seed,
+                ),
+            }
+    return result
+
+
+def render(result: Fig8Result) -> str:
+    rows = []
+    for (direction, rate), pair in result.runs.items():
+        rows.append(
+            [
+                direction,
+                f"{rate:g}vs{rate:g}",
+                f"{pair['normal'].total_mbps:.3f}",
+                f"{pair['tbr'].total_mbps:.3f}",
+                f"{result.overhead_fraction(direction, rate) * 100:+.1f}%",
+            ]
+        )
+    return fmt_table(
+        ["direction", "rates", "Exp-Normal", "Exp-TBR", "TBR delta"],
+        rows,
+        title="Figure 8: same-rate pairs with and without TBR (total Mbps)",
+    )

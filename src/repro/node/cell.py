@@ -1,0 +1,387 @@
+"""`Cell` — a one-stop builder for single-cell WLAN scenarios.
+
+Every experiment in the paper is "an AP, a few stations at various
+rates, TCP or UDP flows up or down, with or without TBR".  ``Cell``
+assembles the simulator, channel, AP (with the chosen queueing
+discipline), stations, flows and measurement hooks, and exposes the
+results the paper reports: per-flow throughput and per-station channel
+occupancy.
+
+Example::
+
+    cell = Cell(seed=1, scheduler="tbr")
+    n1 = cell.add_station("n1", rate_mbps=1.0)
+    n2 = cell.add_station("n2", rate_mbps=11.0)
+    f1 = cell.tcp_flow(n1, direction="up")
+    f2 = cell.tcp_flow(n2, direction="up")
+    cell.run(seconds=20, warmup_seconds=2)
+    print(cell.throughputs_mbps())        # {'n1/tcp-up': ..., ...}
+    print(cell.occupancy_fractions())     # {'n1': ~0.48, 'n2': ~0.48}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.channel.medium import Channel
+from repro.channel.usage import ChannelUsageMonitor
+from repro.core.tbr import TbrConfig, TbrScheduler
+from repro.node.access_point import AccessPoint
+from repro.node.rate_control import RateController
+from repro.node.station import Station
+from repro.node.wired_host import WiredHost
+from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
+from repro.queueing.base import ApScheduler
+from repro.queueing.drr import DrrScheduler
+from repro.queueing.fifo import ApFifoScheduler
+from repro.queueing.round_robin import RoundRobinScheduler
+from repro.sim import Simulator, us_from_s
+from repro.transport.apps import BulkApp, PacedApp, TaskApp
+from repro.transport.packet import Packet
+from repro.transport.stats import FlowStats
+from repro.transport.tcp import TcpParams, TcpReceiver, TcpSender
+from repro.transport.udp import UdpSender, UdpSink
+
+
+@dataclass
+class FlowHandle:
+    """Everything about one flow a test or experiment might poke."""
+
+    name: str
+    station: Station
+    direction: str  # "up" | "down"
+    kind: str  # "tcp" | "udp"
+    stats: FlowStats
+    sender: object
+    receiver: object
+    app: object = None
+
+    def throughput_mbps(self, elapsed_us: Optional[float] = None) -> float:
+        return self.stats.throughput_mbps(elapsed_us)
+
+
+def _make_scheduler(
+    sim: Simulator, spec: Union[str, ApScheduler], tbr_config: Optional[TbrConfig]
+) -> ApScheduler:
+    if isinstance(spec, ApScheduler):
+        return spec
+    if spec == "fifo":
+        return ApFifoScheduler()
+    if spec == "rr":
+        return RoundRobinScheduler()
+    if spec == "drr":
+        return DrrScheduler()
+    if spec == "tbr":
+        return TbrScheduler(sim, tbr_config)
+    raise ValueError(f"unknown scheduler {spec!r} (fifo/rr/drr/tbr)")
+
+
+class Cell:
+    """A single 802.11 cell with an AP, stations and flows."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        phy: PhyParams = DOT11B_LONG_PREAMBLE,
+        scheduler: Union[str, ApScheduler] = "fifo",
+        tbr_config: Optional[TbrConfig] = None,
+        loss_model=None,
+        wired_delay_us: float = 1000.0,
+        oracle_retry_accounting: bool = False,
+        ap_rate_controller: Optional[RateController] = None,
+        keep_usage_records: bool = False,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.phy = phy
+        self.channel = Channel(self.sim, loss_model)
+        self.usage = ChannelUsageMonitor(self.sim, keep_records=keep_usage_records)
+        self.scheduler = _make_scheduler(self.sim, scheduler, tbr_config)
+        self.ap = AccessPoint(
+            self.sim,
+            self.channel,
+            self.scheduler,
+            phy,
+            rate_controller=ap_rate_controller,
+            wired_delay_us=wired_delay_us,
+            oracle_retry_accounting=oracle_retry_accounting,
+        )
+        self.ap.mac.add_completion_listener(self._on_ap_exchange)
+        if isinstance(self.scheduler, TbrScheduler) and self.scheduler.config.notify_clients:
+            self.ap.mac.ack_decorator = self._decorate_ack
+        self.stations: Dict[str, Station] = {}
+        self.flows: List[FlowHandle] = []
+        self._flow_seq = 0
+        self._measure_start_us = 0.0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_station(
+        self,
+        name: Optional[str] = None,
+        *,
+        rate_mbps: float = 11.0,
+        downlink_rate_mbps: Optional[float] = None,
+        rate_controller: Optional[RateController] = None,
+        queue_capacity: int = 100,
+        cooperate_with_tbr: bool = False,
+        mac_config=None,
+    ) -> Station:
+        """Create a station; its uplink rate is ``rate_mbps`` and the
+        AP's downlink rate toward it defaults to the same value."""
+        if name is None:
+            name = f"sta{len(self.stations)}"
+        if name in self.stations:
+            raise ValueError(f"duplicate station name {name!r}")
+        station = Station(
+            self.sim,
+            self.channel,
+            name,
+            self.phy,
+            rate_controller=rate_controller,
+            rate_mbps=rate_mbps,
+            queue_capacity=queue_capacity,
+            cooperate_with_tbr=cooperate_with_tbr,
+            mac_config=mac_config,
+        )
+        station.exchange_observers.append(self._on_station_exchange(station))
+        self.stations[name] = station
+        self.ap.associate(name)
+        if rate_controller is None and downlink_rate_mbps is None:
+            downlink_rate_mbps = rate_mbps
+        if downlink_rate_mbps is not None:
+            try:
+                self.ap.set_downlink_rate(name, downlink_rate_mbps)
+            except TypeError:
+                pass  # AP uses its own adaptive controller
+        return station
+
+    # ------------------------------------------------------------------
+    # usage accounting (true occupancy, both directions)
+    # ------------------------------------------------------------------
+    def _on_station_exchange(self, station: Station):
+        def observer(report) -> None:
+            if report.packet is None:
+                return
+            self.usage.record_exchange(
+                station.address,
+                report.airtime_us,
+                attempts=report.attempts,
+                success=report.success,
+                payload_bytes=report.payload_bytes,
+                rate_mbps=report.rate_mbps,
+                direction="up",
+            )
+
+        return observer
+
+    def _on_ap_exchange(self, report) -> None:
+        packet = report.packet
+        if packet is None:
+            return
+        self.usage.record_exchange(
+            packet.station,
+            report.airtime_us,
+            attempts=report.attempts,
+            success=report.success,
+            payload_bytes=report.payload_bytes,
+            rate_mbps=report.rate_mbps,
+            direction="down",
+        )
+
+    def _decorate_ack(self, ack, data_frame) -> None:
+        hint = self.scheduler.defer_hint_for(data_frame.src)
+        if hint is not None:
+            ack.defer_hint = hint
+
+    # ------------------------------------------------------------------
+    # flows
+    # ------------------------------------------------------------------
+    def _flow_name(self, station: Station, kind: str, direction: str) -> str:
+        self._flow_seq += 1
+        return f"{station.address}/{kind}-{direction}"
+
+    def tcp_flow(
+        self,
+        station: Station,
+        *,
+        direction: str = "up",
+        app: str = "bulk",
+        task_bytes: Optional[int] = None,
+        paced_mbps: Optional[float] = None,
+        params: Optional[TcpParams] = None,
+        name: Optional[str] = None,
+    ) -> FlowHandle:
+        """Create a TCP flow between ``station`` and a fresh wired host.
+
+        ``direction="up"`` sends data station -> host (the host returns
+        ACKs through the AP's downlink queue); ``"down"`` the reverse.
+        ``app`` is ``"bulk"``, ``"task"`` (give ``task_bytes``) or
+        ``"paced"`` (give ``paced_mbps``).
+        """
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        if name is None:
+            name = self._flow_name(station, "tcp", direction)
+        host = WiredHost(f"host-{name}", self.ap)
+        stats = FlowStats(self.sim, name)
+
+        sta_addr = station.address
+        now = self.sim.now
+
+        if direction == "up":
+            data_via = station.send
+            ack_via = host.send
+            data_to_station = False
+        else:
+            data_via = host.send
+            ack_via = station.send
+            data_to_station = True
+
+        # Receiver first so the sender's tx can reference its callbacks.
+        receiver_box: dict = {}
+
+        def tx_data(size_bytes: int, segment) -> None:
+            pkt = Packet(
+                size_bytes,
+                sta_addr,
+                to_station=data_to_station,
+                payload=segment,
+                on_receive=lambda p: receiver_box["rx"].on_segment(p.payload),
+                created_us=self.sim.now,
+            )
+            data_via(pkt)
+
+        sender = TcpSender(self.sim, f"{name}-snd", tx_data, params)
+
+        def tx_ack(size_bytes: int, ack) -> None:
+            pkt = Packet(
+                size_bytes,
+                sta_addr,
+                to_station=not data_to_station,
+                payload=ack,
+                on_receive=lambda p: sender.on_ack(p.payload),
+                created_us=self.sim.now,
+            )
+            ack_via(pkt)
+
+        receiver = TcpReceiver(self.sim, f"{name}-rcv", tx_ack, params, stats)
+        receiver_box["rx"] = receiver
+
+        app_obj: object
+        if app == "bulk":
+            app_obj = BulkApp(sender)
+        elif app == "task":
+            if task_bytes is None:
+                raise ValueError("task app needs task_bytes")
+            app_obj = TaskApp(self.sim, sender, task_bytes, stats.mark_complete)
+        elif app == "paced":
+            if paced_mbps is None:
+                raise ValueError("paced app needs paced_mbps")
+            app_obj = PacedApp(self.sim, sender, paced_mbps)
+        else:
+            raise ValueError(f"unknown app {app!r}")
+
+        handle = FlowHandle(
+            name, station, direction, "tcp", stats, sender, receiver, app_obj
+        )
+        self.flows.append(handle)
+        del now
+        return handle
+
+    def udp_flow(
+        self,
+        station: Station,
+        *,
+        direction: str = "down",
+        rate_mbps: float = 12.0,
+        payload_bytes: int = 1472,
+        name: Optional[str] = None,
+    ) -> FlowHandle:
+        """Create a UDP flow (default: saturating downlink, as EXP-1)."""
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        if name is None:
+            name = self._flow_name(station, "udp", direction)
+        host = WiredHost(f"host-{name}", self.ap)
+        stats = FlowStats(self.sim, name)
+        sink = UdpSink(stats)
+
+        sta_addr = station.address
+        if direction == "down":
+            via = host.send
+            to_station = True
+        else:
+            via = station.send
+            to_station = False
+
+        def tx(size_bytes: int, datagram) -> None:
+            pkt = Packet(
+                size_bytes,
+                sta_addr,
+                to_station=to_station,
+                payload=datagram,
+                on_receive=lambda p: sink.on_datagram(p.payload, p.size_bytes),
+                created_us=self.sim.now,
+            )
+            via(pkt)
+
+        sender = UdpSender(
+            self.sim, f"{name}-snd", tx, rate_mbps, payload_bytes
+        )
+        handle = FlowHandle(name, station, direction, "udp", stats, sender, sink)
+        self.flows.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # running and measuring
+    # ------------------------------------------------------------------
+    def run(self, seconds: float, *, warmup_seconds: float = 0.0) -> None:
+        """Run ``warmup_seconds`` then measure for ``seconds``."""
+        if warmup_seconds > 0:
+            self.sim.run(until=self.sim.now + us_from_s(warmup_seconds))
+            self.reset_measurements()
+        self.sim.run(until=self.sim.now + us_from_s(seconds))
+
+    def reset_measurements(self) -> None:
+        """Zero throughput/occupancy accumulators (end of warm-up)."""
+        self._measure_start_us = self.sim.now
+        self.usage.reset()
+        for flow in self.flows:
+            flow.stats.reset()
+
+    @property
+    def measured_us(self) -> float:
+        return self.sim.now - self._measure_start_us
+
+    def throughputs_mbps(self) -> Dict[str, float]:
+        """Per-flow goodput over the measurement window."""
+        return {
+            f.name: f.stats.throughput_mbps(self.measured_us) for f in self.flows
+        }
+
+    def total_throughput_mbps(self) -> float:
+        return sum(self.throughputs_mbps().values())
+
+    def station_throughputs_mbps(self) -> Dict[str, float]:
+        """Goodput summed per station."""
+        result: Dict[str, float] = {}
+        for flow in self.flows:
+            key = flow.station.address
+            result[key] = result.get(key, 0.0) + flow.stats.throughput_mbps(
+                self.measured_us
+            )
+        return result
+
+    def occupancy_fractions(self) -> Dict[str, float]:
+        """Per-station channel occupancy as a fraction of elapsed time."""
+        return {
+            s: self.usage.fraction_of_time(s, self.measured_us)
+            for s in self.stations
+        }
+
+    def occupancy_shares(self) -> Dict[str, float]:
+        """Per-station share of the total attributed channel time."""
+        return {s: self.usage.fraction_of_busy(s) for s in self.stations}

@@ -1,0 +1,22 @@
+"""A host on the wired backbone behind the AP."""
+
+from __future__ import annotations
+
+from repro.node.access_point import AccessPoint
+from repro.transport.packet import Packet
+
+
+class WiredHost:
+    """A wired correspondent node (file server, TCP sink, etc.).
+
+    Packets a host sends are owned by the *wireless station* at the far
+    end of the flow (``packet.station``); the AP queues them downlink.
+    """
+
+    def __init__(self, name: str, ap: AccessPoint) -> None:
+        self.name = name
+        self.ap = ap
+        self.rx_bytes = 0
+
+    def send(self, packet: Packet) -> None:
+        self.ap.from_wire(packet)

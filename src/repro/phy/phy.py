@@ -1,0 +1,147 @@
+"""PHY timing parameters and frame airtime computation.
+
+Two PHY families are modelled:
+
+* 802.11b DSSS/CCK — PLCP preamble+header sent at 1 Mbps (192 us long,
+  96 us short), payload at the data rate;
+* 802.11g ERP-OFDM — 20 us preamble+SIGNAL, then 4 us symbols carrying
+  ``4 * rate`` bits each (including 16 SERVICE bits and 6 tail bits).
+
+The MAC-level constants (slot, SIFS, CWmin/max) live here too because
+they are properties of the PHY in the standard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.phy.rates import basic_rates_b, basic_rates_g
+
+#: MAC data-frame overhead: 24-byte header + 4-byte FCS.
+MAC_DATA_OVERHEAD_BYTES = 28
+#: LLC/SNAP encapsulation carried in every data MSDU holding an IP packet.
+LLC_SNAP_BYTES = 8
+#: MAC ACK control frame size.
+ACK_BYTES = 14
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Timing constants for one PHY configuration.
+
+    ``mode`` selects the airtime formula: ``"dsss"`` (802.11b) or
+    ``"ofdm"`` (802.11g).  ``plcp_us`` is the preamble+PLCP-header
+    duration for dsss; for ofdm it is the preamble+SIGNAL duration.
+    """
+
+    name: str
+    mode: str
+    slot_us: float
+    sifs_us: float
+    plcp_us: float
+    cw_min: int
+    cw_max: int
+    basic_rates: Sequence[float] = field(default_factory=tuple)
+    #: bits prepended to the OFDM payload (SERVICE + tail), dsss: 0.
+    ofdm_service_tail_bits: int = 0
+
+    @property
+    def difs_us(self) -> float:
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs_us + 2.0 * self.slot_us
+
+    def eifs_us(self, lowest_rate_mbps: float = None) -> float:
+        """EIFS = SIFS + DIFS + ACK airtime at the lowest basic rate."""
+        rate = lowest_rate_mbps if lowest_rate_mbps is not None else min(self.basic_rates)
+        return self.sifs_us + self.difs_us + ack_airtime_us(self, rate)
+
+
+DOT11B_LONG_PREAMBLE = PhyParams(
+    name="802.11b (long preamble)",
+    mode="dsss",
+    slot_us=20.0,
+    sifs_us=10.0,
+    plcp_us=192.0,
+    cw_min=31,
+    cw_max=1023,
+    basic_rates=tuple(basic_rates_b()),
+)
+
+DOT11B_SHORT_PREAMBLE = PhyParams(
+    name="802.11b (short preamble)",
+    mode="dsss",
+    slot_us=20.0,
+    sifs_us=10.0,
+    plcp_us=96.0,
+    cw_min=31,
+    cw_max=1023,
+    basic_rates=tuple(basic_rates_b()),
+)
+
+DOT11G_OFDM = PhyParams(
+    name="802.11g (ERP-OFDM)",
+    mode="ofdm",
+    slot_us=9.0,
+    sifs_us=10.0,
+    plcp_us=20.0,
+    cw_min=15,
+    cw_max=1023,
+    basic_rates=tuple(basic_rates_g()),
+    ofdm_service_tail_bits=22,
+)
+
+
+def _psdu_airtime_us(phy: PhyParams, psdu_bytes: int, rate_mbps: float) -> float:
+    """Airtime of a PSDU of ``psdu_bytes`` at ``rate_mbps`` on ``phy``."""
+    if psdu_bytes < 0:
+        raise ValueError("psdu_bytes must be non-negative")
+    if rate_mbps <= 0:
+        raise ValueError("rate must be positive")
+    bits = 8.0 * psdu_bytes
+    if phy.mode == "dsss":
+        return phy.plcp_us + bits / rate_mbps
+    if phy.mode == "ofdm":
+        bits_per_symbol = 4.0 * rate_mbps
+        symbols = math.ceil((phy.ofdm_service_tail_bits + bits) / bits_per_symbol)
+        return phy.plcp_us + 4.0 * symbols
+    raise ValueError(f"unknown phy mode {phy.mode!r}")
+
+
+def frame_airtime_us(
+    phy: PhyParams,
+    payload_bytes: int,
+    rate_mbps: float,
+    *,
+    include_llc: bool = True,
+) -> float:
+    """Airtime of a unicast data frame carrying ``payload_bytes`` of MSDU.
+
+    ``payload_bytes`` is the network-layer (IP) packet size.  The MAC
+    header, FCS and (by default) LLC/SNAP encapsulation are added here.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    psdu = payload_bytes + MAC_DATA_OVERHEAD_BYTES
+    if include_llc:
+        psdu += LLC_SNAP_BYTES
+    return _psdu_airtime_us(phy, psdu, rate_mbps)
+
+
+def ack_airtime_us(phy: PhyParams, rate_mbps: float) -> float:
+    """Airtime of a MAC ACK control frame at ``rate_mbps``."""
+    return _psdu_airtime_us(phy, ACK_BYTES, rate_mbps)
+
+
+def ack_rate_for(phy: PhyParams, data_rate_mbps: float) -> float:
+    """Control-response rate: highest basic rate <= the data rate.
+
+    Falls back to the lowest basic rate when the data rate is below every
+    basic rate (cannot happen for standard-compliant rate sets, but keeps
+    the function total).
+    """
+    candidates = [r for r in phy.basic_rates if r <= data_rate_mbps]
+    if candidates:
+        return max(candidates)
+    return min(phy.basic_rates)

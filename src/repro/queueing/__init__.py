@@ -1,0 +1,28 @@
+"""AP downlink queueing disciplines.
+
+The paper (Section 2.5) observes that the AP's queueing scheme dictates
+downlink capacity allocation.  This package provides the classical
+throughput-fair disciplines TBR is compared against:
+
+* :class:`ApFifoScheduler` — the single "kernel interface queue" of the
+  paper's Exp-Normal configuration;
+* :class:`RoundRobinScheduler` — per-destination round robin (what most
+  APs approximate);
+* :class:`DrrScheduler` — Deficit Round Robin (Shreedhar & Varghese),
+  byte-accurate throughput fairness;
+
+plus the shared :class:`ApScheduler` base class that TBR also extends.
+"""
+
+from repro.queueing.base import ApScheduler, StationQueue
+from repro.queueing.fifo import ApFifoScheduler
+from repro.queueing.round_robin import RoundRobinScheduler
+from repro.queueing.drr import DrrScheduler
+
+__all__ = [
+    "ApScheduler",
+    "StationQueue",
+    "ApFifoScheduler",
+    "RoundRobinScheduler",
+    "DrrScheduler",
+]

@@ -1,0 +1,164 @@
+"""Shared machinery for AP downlink schedulers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+
+class StationQueue:
+    """A drop-tail per-station queue."""
+
+    __slots__ = ("station", "capacity", "queue", "dropped", "enqueued_bytes")
+
+    def __init__(self, station: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.station = station
+        self.capacity = capacity
+        self.queue: deque = deque()
+        self.dropped = 0
+        self.enqueued_bytes = 0
+
+    def push(self, packet: Any) -> bool:
+        if len(self.queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self.queue.append(packet)
+        self.enqueued_bytes += packet.size_bytes
+        return True
+
+    def pop(self) -> Any:
+        return self.queue.popleft()
+
+    def head(self) -> Any:
+        return self.queue[0] if self.queue else None
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __bool__(self) -> bool:
+        return bool(self.queue)
+
+
+class ApScheduler:
+    """Base class for AP downlink schedulers (implements TxScheduler).
+
+    Subclasses override :meth:`_select_queue` (which station's queue to
+    serve next) and may override :meth:`on_complete` /
+    :meth:`on_uplink_complete` for accounting.  The AP node calls
+    :meth:`enqueue` for every downlink packet (the paper's APPTXEVENT)
+    and :meth:`on_uplink_complete` for every observed uplink exchange.
+
+    Total buffer space is divided equally among associated stations when
+    ``per_station_capacity`` is None, matching the paper's experimental
+    setup (n queues of 100/n packets).
+    """
+
+    def __init__(
+        self,
+        total_capacity: int = 100,
+        per_station_capacity: Optional[int] = None,
+    ) -> None:
+        self.total_capacity = total_capacity
+        self.per_station_capacity = per_station_capacity
+        self.mac = None
+        self.queues: Dict[str, StationQueue] = {}
+        self._order: List[str] = []
+        self._rr_index = 0
+        #: (packet, airtime_us, success, attempts, rate) listeners.
+        self.completion_listeners: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    # association
+    # ------------------------------------------------------------------
+    def associate(self, station: str) -> None:
+        """Create the station's queue (the paper's ASSOCIATEEVENT)."""
+        if station in self.queues:
+            return
+        self._order.append(station)
+        self._rebuild_queues()
+
+    def _station_capacity(self) -> int:
+        if self.per_station_capacity is not None:
+            return self.per_station_capacity
+        n = max(1, len(self._order))
+        return max(1, self.total_capacity // n)
+
+    def _rebuild_queues(self) -> None:
+        capacity = self._station_capacity()
+        rebuilt: Dict[str, StationQueue] = {}
+        for station in self._order:
+            old = self.queues.get(station)
+            q = StationQueue(station, capacity)
+            if old is not None:
+                q.queue = old.queue
+                q.dropped = old.dropped
+                q.enqueued_bytes = old.enqueued_bytes
+            rebuilt[station] = q
+        self.queues = rebuilt
+
+    def stations(self) -> List[str]:
+        return list(self._order)
+
+    # ------------------------------------------------------------------
+    # producer side (AP node)
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Any) -> bool:
+        """APPTXEVENT: queue a downlink packet for its station."""
+        station = packet.station
+        if station not in self.queues:
+            self.associate(station)
+        ok = self.queues[station].push(packet)
+        if ok and self.mac is not None:
+            self.mac.notify_pending()
+        return ok
+
+    def on_uplink_complete(
+        self, station: str, airtime_us: float, *, attempts: int = 1,
+        success: bool = True, payload_bytes: int = 0,
+    ) -> None:
+        """An uplink exchange owned by ``station`` used ``airtime_us``.
+
+        Plain throughput-fair schedulers ignore uplink usage; TBR charges
+        it against the station's tokens (and uses ``payload_bytes`` as an
+        activity signal for rate adjustment).
+        """
+
+    # ------------------------------------------------------------------
+    # TxScheduler protocol
+    # ------------------------------------------------------------------
+    def bind(self, mac) -> None:
+        self.mac = mac
+
+    def has_pending(self) -> bool:
+        return any(self.queues[s] for s in self._order)
+
+    def dequeue(self) -> Any:
+        queue = self._select_queue()
+        if queue is None:
+            return None
+        return queue.pop()
+
+    def _select_queue(self) -> Optional[StationQueue]:
+        raise NotImplementedError
+
+    def on_complete(
+        self, packet: Any, airtime_us: float, success: bool, attempts: int,
+        rate_mbps: float,
+    ) -> None:
+        for listener in self.completion_listeners:
+            listener(packet, airtime_us, success, attempts, rate_mbps)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def backlog(self, station: str) -> int:
+        q = self.queues.get(station)
+        return len(q) if q is not None else 0
+
+    def total_backlog(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def dropped(self) -> int:
+        return sum(q.dropped for q in self.queues.values())

@@ -1,0 +1,55 @@
+"""The Exp-Normal AP queue: one shared drop-tail FIFO.
+
+The paper's unmodified AP stores all downlink packets in the kernel
+interface queue (maximum 110 packets) with no per-station structure.
+Arrival order alone decides transmission order, which for competing TCP
+flows self-clocks into approximately equal *packet* (hence throughput)
+shares — throughput-based fairness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.queueing.base import ApScheduler, StationQueue
+
+
+class ApFifoScheduler(ApScheduler):
+    """Single shared FIFO; ignores per-station structure entirely."""
+
+    def __init__(self, total_capacity: int = 110) -> None:
+        super().__init__(total_capacity=total_capacity)
+        self._fifo: deque = deque()
+        self.fifo_dropped = 0
+
+    def enqueue(self, packet: Any) -> bool:
+        if packet.station not in self.queues:
+            self.associate(packet.station)
+        if len(self._fifo) >= self.total_capacity:
+            self.fifo_dropped += 1
+            return False
+        self._fifo.append(packet)
+        if self.mac is not None:
+            self.mac.notify_pending()
+        return True
+
+    def has_pending(self) -> bool:
+        return bool(self._fifo)
+
+    def dequeue(self) -> Any:
+        if not self._fifo:
+            return None
+        return self._fifo.popleft()
+
+    def _select_queue(self) -> Optional[StationQueue]:  # pragma: no cover
+        raise AssertionError("ApFifoScheduler overrides dequeue directly")
+
+    def backlog(self, station: str) -> int:
+        return sum(1 for p in self._fifo if p.station == station)
+
+    def total_backlog(self) -> int:
+        return len(self._fifo)
+
+    def dropped(self) -> int:
+        return self.fifo_dropped

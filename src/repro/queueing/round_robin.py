@@ -1,0 +1,29 @@
+"""Per-destination round-robin downlink scheduling.
+
+One packet per backlogged station per round: equal *packet* shares,
+i.e. throughput-based fairness when packet sizes match.  This is the
+behaviour the paper attributes to typical APs ("usually transmits to
+wireless clients in a round-robin manner", Section 2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.queueing.base import ApScheduler, StationQueue
+
+
+class RoundRobinScheduler(ApScheduler):
+    """Serve backlogged station queues one packet at a time, in turn."""
+
+    def _select_queue(self) -> Optional[StationQueue]:
+        n = len(self._order)
+        if n == 0:
+            return None
+        for offset in range(n):
+            idx = (self._rr_index + offset) % n
+            queue = self.queues[self._order[idx]]
+            if queue:
+                self._rr_index = (idx + 1) % n
+                return queue
+        return None

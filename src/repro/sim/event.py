@@ -1,0 +1,73 @@
+"""Events and event priorities for the simulation kernel."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break ordering for events scheduled at the same timestamp.
+
+    Lower values run first.  The MAC relies on this ordering to get
+    slot-synchronous collision semantics right:
+
+    * ``TX_START`` — a station whose backoff expired this slot commits to
+      transmitting before anyone reacts to new carrier.
+    * ``PHY`` — frame-end / reception events.
+    * ``NORMAL`` — default application and protocol timers.
+    * ``MONITOR`` — metric sampling sees the post-update state.
+    """
+
+    TX_START = 0
+    PHY = 1
+    HIGH = 2
+    NORMAL = 5
+    LOW = 8
+    MONITOR = 10
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created by :meth:`repro.sim.kernel.Simulator.schedule` and
+    support *lazy cancellation*: :meth:`cancel` marks the event dead and
+    the kernel discards it when it reaches the head of the heap.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; the kernel will skip it."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def _sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.3f} prio={self.priority} {name} {state}>"

@@ -1,0 +1,177 @@
+"""The discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is floating-point microseconds starting at 0.  Events scheduled
+    at identical timestamps run in ``(priority, insertion order)`` order.
+
+    The kernel also owns named deterministic RNG streams
+    (:meth:`rng`): every component draws randomness from a stream keyed
+    by its own name, so adding a component never perturbs the draws seen
+    by the others, and runs are reproducible given the seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+        self._rngs: dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for budget checks in tests)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> random.Random:
+        """Return the named deterministic RNG stream.
+
+        Streams are created on first use, seeded from ``(seed, name)``.
+        """
+        stream = self._rngs.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{name}")
+            self._rngs[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` us from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._now!r}"
+            )
+        event = Event(time, int(priority), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(
+        self,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at the current time (after current event)."""
+        return self.schedule_at(self._now, callback, *args, priority=priority)
+
+    @staticmethod
+    def cancel(event: Optional[Event]) -> None:
+        """Cancel an event; ``None`` is accepted and ignored."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Events scheduled exactly at ``until`` are *not* executed; the
+        clock is left at ``until`` so consecutive ``run`` calls compose.
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time >= until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                callback, args = event.callback, event.args
+                # Break reference cycles and make double-execution obvious.
+                event.callback = None  # type: ignore[assignment]
+                event.args = ()
+                callback(*args)
+                executed += 1
+                self._events_executed += 1
+            else:
+                # Queue drained completely.
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_for(self, duration: float, **kwargs: Any) -> float:
+        """Run for ``duration`` us past the current time."""
+        return self.run(until=self._now + duration, **kwargs)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled events currently queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

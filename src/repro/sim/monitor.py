@@ -1,0 +1,159 @@
+"""Measurement primitives: counters, time-weighted values, series.
+
+These are deliberately simple and allocation-light; experiments sample
+them at the end of a run (or periodically via ``EventPriority.MONITOR``
+events so samples observe post-update state).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A monotonically increasing count with an interval snapshot helper."""
+
+    __slots__ = ("value", "_mark")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._mark = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def mark(self) -> None:
+        """Remember the current value; :meth:`since_mark` reports the delta."""
+        self._mark = self.value
+
+    def since_mark(self) -> float:
+        return self.value - self._mark
+
+
+class TimeWeightedValue:
+    """Tracks the time-weighted average of a piecewise-constant value.
+
+    Used for queue lengths, token levels and channel business fractions.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
+        self.sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._origin = sim.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def average(self) -> float:
+        """Time-weighted mean from construction (or :meth:`reset`) to now."""
+        now = self.sim.now
+        total = self._weighted_sum + self._value * (now - self._last_change)
+        elapsed = now - self._origin
+        if elapsed <= 0:
+            return self._value
+        return total / elapsed
+
+    def reset(self) -> None:
+        self._weighted_sum = 0.0
+        self._last_change = self.sim.now
+        self._origin = self.sim.now
+
+
+class TimeSeries:
+    """Appends ``(time, value)`` samples; supports simple reductions."""
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(v for _, v in self.samples) / len(self.samples)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.samples[-1] if self.samples else None
+
+
+class IntervalAccumulator:
+    """Buckets a running total into fixed-width time intervals.
+
+    Feed it ``(time, amount)`` observations; it returns per-interval sums,
+    which is exactly the shape the paper's 1-second busy-interval analysis
+    (Figure 5) needs.
+    """
+
+    def __init__(self, width_us: float) -> None:
+        if width_us <= 0:
+            raise ValueError("interval width must be positive")
+        self.width_us = width_us
+        self._buckets: dict[int, float] = {}
+
+    def add(self, time_us: float, amount: float) -> None:
+        index = int(time_us // self.width_us)
+        self._buckets[index] = self._buckets.get(index, 0.0) + amount
+
+    def buckets(self) -> List[Tuple[int, float]]:
+        """Sorted ``(interval_index, total)`` pairs for non-empty intervals."""
+        return sorted(self._buckets.items())
+
+    def totals(self) -> List[float]:
+        return [total for _, total in self.buckets()]
+
+
+class WelfordStat:
+    """Streaming mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)

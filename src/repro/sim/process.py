@@ -1,0 +1,111 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a generator that yields:
+
+* a ``float`` — sleep for that many microseconds;
+* a :class:`Sleep` — same, explicit;
+* a :class:`Condition` returned by :func:`waituntil` — resumed when
+  another party calls :meth:`Condition.fire`.
+
+Processes are a convenience for traffic sources, tasks and tests; the
+performance-critical protocol machinery (MAC, TBR) uses plain callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.event import Event, EventPriority
+from repro.sim.kernel import Simulator
+
+
+class Sleep:
+    """Explicit sleep request yielded by a process."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.duration = duration
+
+
+class Condition:
+    """A one-shot wakeup handle; create via :func:`waituntil`."""
+
+    __slots__ = ("_process", "fired", "value")
+
+    def __init__(self) -> None:
+        self._process: Optional["Process"] = None
+        self.fired = False
+        self.value: Any = None
+
+    def fire(self, value: Any = None) -> None:
+        """Wake the waiting process (idempotent)."""
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        if self._process is not None:
+            self._process._resume(value)
+
+
+def waituntil() -> Condition:
+    """Create a condition a process can yield on."""
+    return Condition()
+
+
+class Process:
+    """Drives a generator against the simulator clock."""
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "process") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._pending: Optional[Event] = None
+        sim.call_soon(self._step, None)
+
+    def stop(self) -> None:
+        """Terminate the process without running it further."""
+        if self.finished:
+            return
+        self.finished = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self.finished:
+            self.sim.call_soon(self._step, value)
+
+    def _step(self, send_value: Any) -> None:
+        if self.finished:
+            return
+        self._pending = None
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as done:
+            self.finished = True
+            self.result = done.value
+            return
+        if isinstance(yielded, Sleep):
+            delay = yielded.duration
+        elif isinstance(yielded, (int, float)):
+            delay = float(yielded)
+        elif isinstance(yielded, Condition):
+            if yielded.fired:
+                self.sim.call_soon(self._step, yielded.value)
+            else:
+                yielded._process = self
+            return
+        else:
+            self.finished = True
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+        self._pending = self.sim.schedule(
+            delay, self._step, None, priority=EventPriority.NORMAL
+        )

@@ -1,0 +1,79 @@
+"""Recurring timers built on top of the kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventPriority
+from repro.sim.kernel import Simulator
+
+
+class PeriodicTimer:
+    """Calls ``callback(elapsed_us)`` every ``period`` microseconds.
+
+    The callback receives the time elapsed since its previous invocation
+    (or since :meth:`start`), which is exactly what token-fill style
+    handlers such as TBR's FILLEVENT need.  ``jitter_rng`` may be given to
+    de-synchronize periodic work across instances.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[float], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        jitter_rng=None,
+        jitter_fraction: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.priority = priority
+        self._jitter_rng = jitter_rng
+        self._jitter_fraction = jitter_fraction
+        self._event: Optional[Event] = None
+        self._last_fire: float = 0.0
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Start (or restart) the timer; first fire is one period from now."""
+        self.stop()
+        self._running = True
+        self._last_fire = self.sim.now
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop the timer; no further callbacks fire."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_delay(self) -> float:
+        if self._jitter_rng is not None and self._jitter_fraction > 0.0:
+            spread = self.period * self._jitter_fraction
+            return self.period + self._jitter_rng.uniform(-spread, spread)
+        return self.period
+
+    def _schedule_next(self) -> None:
+        self._event = self.sim.schedule(
+            self._next_delay(), self._fire, priority=self.priority
+        )
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        elapsed = self.sim.now - self._last_fire
+        self._last_fire = self.sim.now
+        self._schedule_next()
+        self.callback(elapsed)

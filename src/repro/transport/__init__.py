@@ -1,0 +1,30 @@
+"""Transport substrate: packets, wired links, TCP Reno, UDP and apps.
+
+The paper's experiments are TCP file transfers between wireless
+stations and wired hosts behind the AP (plus saturating UDP for Figure
+4 and EXP-1).  The essential dynamics — TCP ack clocking through the
+shared AP queue, congestion control reacting to AP queue drops, paced
+application-limited senders — are reproduced by a compact TCP Reno
+implementation and simple link/app models.
+"""
+
+from repro.transport.packet import Packet
+from repro.transport.wired import WiredLink
+from repro.transport.stats import FlowStats
+from repro.transport.tcp import TcpParams, TcpSender, TcpReceiver
+from repro.transport.udp import UdpSender, UdpSink
+from repro.transport.apps import BulkApp, TaskApp, PacedApp
+
+__all__ = [
+    "Packet",
+    "WiredLink",
+    "FlowStats",
+    "TcpParams",
+    "TcpSender",
+    "TcpReceiver",
+    "UdpSender",
+    "UdpSink",
+    "BulkApp",
+    "TaskApp",
+    "PacedApp",
+]

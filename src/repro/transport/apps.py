@@ -1,0 +1,91 @@
+"""Application models driving TCP senders.
+
+* :class:`BulkApp` — an unbounded file transfer (the paper's fluid
+  model: an infinite stream of bits);
+* :class:`TaskApp` — a fixed-size transfer (the paper's task model;
+  completion times feed AvgTaskTime / FinalTaskTime);
+* :class:`PacedApp` — an application-limited source (Table 4's node
+  whose sending rate is capped at 2.1 Mbps upstream of TCP).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import PeriodicTimer, Simulator
+from repro.transport.tcp import TcpSender
+
+
+class BulkApp:
+    """Infinite backlog: the sender transmits whenever TCP allows."""
+
+    def __init__(self, sender: TcpSender) -> None:
+        self.sender = sender
+        sender.set_unbounded()
+
+
+class TaskApp:
+    """Transfer exactly ``task_bytes`` and record the completion time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: TcpSender,
+        task_bytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if task_bytes <= 0:
+            raise ValueError("task_bytes must be positive")
+        self.sim = sim
+        self.sender = sender
+        self.task_bytes = task_bytes
+        self.completed_us: Optional[float] = None
+        self._user_callback = on_complete
+        sender.on_complete = self._on_complete
+        sender.supply(task_bytes)
+        sender.finish()
+
+    def _on_complete(self) -> None:
+        self.completed_us = self.sim.now
+        if self._user_callback is not None:
+            self._user_callback()
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_us is not None
+
+
+class PacedApp:
+    """Feeds the sender ``rate_mbps`` of data in periodic chunks.
+
+    TCP may momentarily send faster (draining accumulated credit) but
+    the long-term rate is capped — modelling an application or upstream
+    bottleneck slower than the wireless link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: TcpSender,
+        rate_mbps: float,
+        *,
+        chunk_interval_us: float = 10_000.0,
+    ) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.sender = sender
+        self.rate_mbps = rate_mbps
+        self._carry = 0.0
+        self._timer = PeriodicTimer(sim, chunk_interval_us, self._tick)
+        self._timer.start()
+
+    def _tick(self, elapsed_us: float) -> None:
+        exact = self.rate_mbps * elapsed_us / 8.0 + self._carry
+        nbytes = int(exact)
+        self._carry = exact - nbytes
+        if nbytes > 0:
+            self.sender.supply(nbytes)
+
+    def stop(self) -> None:
+        self._timer.stop()

@@ -1,0 +1,69 @@
+"""The network-layer packet that rides inside MAC data frames."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Packet:
+    """An IP-datagram-sized unit handed to MACs, queues and links.
+
+    Attributes:
+        size_bytes: total network-layer size (payload + IP/TCP headers).
+        station: address of the wireless station this packet belongs to
+            (uplink source or downlink destination) — AP queues key on
+            it and TBR charges its tokens.
+        mac_dst: MAC destination, set by the node layer before handing
+            the packet to a MAC ("ap" for uplink, the station address
+            for downlink).
+        on_receive: delivery callback installed by the destination
+            transport endpoint; node layers simply call it.
+        to_station: True when the packet flows toward the wireless
+            station (downlink over the air).
+        payload: opaque transport payload (TCP segment / UDP datagram).
+        created_us: creation timestamp (for delay metrics).
+    """
+
+    __slots__ = (
+        "size_bytes",
+        "station",
+        "mac_dst",
+        "on_receive",
+        "to_station",
+        "payload",
+        "created_us",
+        "uid",
+    )
+
+    _uid_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        size_bytes: int,
+        station: str,
+        *,
+        to_station: bool,
+        payload: Any = None,
+        on_receive: Optional[Callable[["Packet"], None]] = None,
+        created_us: float = 0.0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes!r}")
+        self.size_bytes = size_bytes
+        self.station = station
+        self.mac_dst: Optional[str] = None
+        self.on_receive = on_receive
+        self.to_station = to_station
+        self.payload = payload
+        self.created_us = created_us
+        self.uid = next(Packet._uid_counter)
+
+    def deliver(self) -> None:
+        """Invoke the destination endpoint's callback."""
+        if self.on_receive is not None:
+            self.on_receive(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        direction = "down" if self.to_station else "up"
+        return f"<Packet #{self.uid} {self.size_bytes}B sta={self.station} {direction}>"

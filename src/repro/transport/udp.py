@@ -1,0 +1,115 @@
+"""UDP: constant-bit-rate and saturating senders, and a counting sink.
+
+The paper uses saturating unicast UDP for Figure 4 (three nodes at
+11 Mbps) and for the EXP-1 rate-adaptation experiment (a wired sender
+blasting four receivers).  A CBR source with a rate above channel
+capacity saturates the AP queue the same way the paper's generator did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim import EventPriority, Simulator
+from repro.transport.stats import FlowStats
+
+
+@dataclass
+class UdpDatagram:
+    """Payload rider for UDP packets."""
+
+    seq: int
+    ts_us: float
+
+
+class UdpSender:
+    """Paced constant-bit-rate UDP source.
+
+    ``rate_mbps`` is the *network-layer* rate (packet size includes the
+    28-byte UDP/IP header by convention of ``payload_bytes``).  Set the
+    rate above the channel capacity to model a saturating source.
+    """
+
+    HEADER_BYTES = 28
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tx: Callable[[int, object], None],
+        rate_mbps: float,
+        payload_bytes: int = 1472,
+        *,
+        start_us: float = 0.0,
+        stop_us: Optional[float] = None,
+        jitter_fraction: float = 0.05,
+    ) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.tx = tx
+        self.rate_mbps = rate_mbps
+        self.payload_bytes = payload_bytes
+        self.packet_bytes = payload_bytes + self.HEADER_BYTES
+        self.stop_us = stop_us
+        self.sent = 0
+        self._seq = 0
+        self.interval_us = self.packet_bytes * 8.0 / rate_mbps
+        # Real CBR sources are not phase-locked to each other; a little
+        # inter-packet jitter prevents artificial drop synchronization
+        # at shared queues (the long-term rate is unchanged).
+        self.jitter_fraction = jitter_fraction
+        self._rng = sim.rng(f"udp/{name}")
+        self._timer = sim.schedule(
+            start_us + self._rng.uniform(0.0, self.interval_us),
+            self._fire,
+            priority=EventPriority.NORMAL,
+        )
+
+    def _next_interval(self) -> float:
+        if self.jitter_fraction <= 0.0:
+            return self.interval_us
+        spread = self.interval_us * self.jitter_fraction
+        return self.interval_us + self._rng.uniform(-spread, spread)
+
+    def _fire(self) -> None:
+        if self.stop_us is not None and self.sim.now >= self.stop_us:
+            self._timer = None
+            return
+        self._seq += 1
+        self.sent += 1
+        self.tx(self.packet_bytes, UdpDatagram(self._seq, self.sim.now))
+        self._timer = self.sim.schedule(
+            self._next_interval(), self._fire, priority=EventPriority.NORMAL
+        )
+
+    def stop(self) -> None:
+        self.stop_us = self.sim.now
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+
+class UdpSink:
+    """Counts delivered datagrams into a :class:`FlowStats`."""
+
+    def __init__(self, stats: Optional[FlowStats] = None) -> None:
+        self.stats = stats
+        self.received = 0
+        self.last_seq = 0
+        self.reordered = 0
+
+    def on_datagram(self, datagram: UdpDatagram, size_bytes: int) -> None:
+        self.received += 1
+        if datagram.seq < self.last_seq:
+            self.reordered += 1
+        self.last_seq = max(self.last_seq, datagram.seq)
+        if self.stats is not None:
+            self.stats.on_deliver(size_bytes)
+            self.stats.on_delay(self.stats.sim.now - datagram.ts_us)

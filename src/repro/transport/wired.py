@@ -1,0 +1,49 @@
+"""Wired links between the AP and backbone hosts.
+
+A :class:`WiredLink` is a unidirectional pipe with a fixed propagation
+delay and an optional serialization rate (for modelling a bottleneck
+slower than the WLAN, e.g. Table 4's 2.1 Mbps constrained path).
+Delivery order is FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim import Simulator
+
+
+class WiredLink:
+    """One-way wired pipe: serialize (optional) then propagate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_us: float = 1000.0,
+        rate_mbps: float = 0.0,
+    ) -> None:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        if rate_mbps < 0:
+            raise ValueError("rate must be non-negative (0 = infinite)")
+        self.sim = sim
+        self.delay_us = delay_us
+        self.rate_mbps = rate_mbps
+        self._busy_until = 0.0
+        self.delivered = 0
+
+    def send(self, packet: Any, deliver: Callable[[Any], None]) -> None:
+        """Queue ``packet``; ``deliver(packet)`` fires after the pipe."""
+        now = self.sim.now
+        if self.rate_mbps > 0:
+            serialization = packet.size_bytes * 8.0 / self.rate_mbps
+            start = max(now, self._busy_until)
+            self._busy_until = start + serialization
+            ready = self._busy_until
+        else:
+            ready = now
+        self.sim.schedule_at(ready + self.delay_us, self._deliver, packet, deliver)
+
+    def _deliver(self, packet: Any, deliver: Callable[[Any], None]) -> None:
+        self.delivered += 1
+        deliver(packet)

@@ -1,0 +1,174 @@
+"""Tests for loss models and indoor propagation."""
+
+import random
+
+import pytest
+
+from repro.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LogDistancePathLoss,
+    NoLoss,
+    PerLinkLoss,
+    Position,
+    RadioEnvironment,
+    SnrLoss,
+    distance,
+)
+from repro.mac.frames import Frame, FrameType
+
+
+def frame(src="a", dst="b", size=1500, rate=11.0):
+    return Frame(FrameType.DATA, src, dst, size, rate)
+
+
+# ----------------------------------------------------------------------
+# loss models
+# ----------------------------------------------------------------------
+def test_no_loss_never_loses():
+    model = NoLoss()
+    assert all(not model.is_lost(frame()) for _ in range(100))
+
+
+def test_bernoulli_extremes():
+    assert not BernoulliLoss(0.0).is_lost(frame())
+    assert BernoulliLoss(1.0).is_lost(frame())
+
+
+def test_bernoulli_rate_statistical():
+    model = BernoulliLoss(0.3, rng=random.Random(1))
+    losses = sum(model.is_lost(frame()) for _ in range(5000))
+    assert 0.25 < losses / 5000 < 0.35
+
+
+def test_bernoulli_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5)
+
+
+def test_per_link_loss_uses_link_and_default():
+    model = PerLinkLoss({("a", "b"): 1.0}, default=0.0)
+    assert model.is_lost(frame("a", "b"))
+    assert not model.is_lost(frame("b", "a"))
+    model.set_link("b", "a", 1.0)
+    assert model.is_lost(frame("b", "a"))
+
+
+def test_per_link_validation():
+    model = PerLinkLoss()
+    with pytest.raises(ValueError):
+        model.set_link("a", "b", -0.1)
+
+
+def test_gilbert_elliott_bursts():
+    model = GilbertElliottLoss(
+        p_good_to_bad=0.05,
+        p_bad_to_good=0.2,
+        loss_good=0.0,
+        loss_bad=1.0,
+        rng=random.Random(2),
+    )
+    outcomes = [model.is_lost(frame()) for _ in range(4000)]
+    loss_rate = sum(outcomes) / len(outcomes)
+    # Stationary bad-state probability = 0.05 / (0.05 + 0.2) = 0.2.
+    assert 0.1 < loss_rate < 0.3
+    # Losses must be bursty: P(loss | previous loss) >> overall rate.
+    joint = sum(
+        1 for i in range(1, len(outcomes)) if outcomes[i] and outcomes[i - 1]
+    )
+    cond = joint / max(1, sum(outcomes[:-1]))
+    assert cond > 1.5 * loss_rate
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_good_to_bad=1.5)
+
+
+def test_gilbert_elliott_per_link_state():
+    model = GilbertElliottLoss(
+        p_good_to_bad=1.0, p_bad_to_good=0.0, loss_good=0.0, loss_bad=1.0,
+        rng=random.Random(3),
+    )
+    model.is_lost(frame("a", "b"))  # drives a->b into BAD
+    # A different link starts fresh in GOOD (first frame samples the
+    # transition, so only the *second* call would be lossy).
+    assert ("c", "d") not in model._state_bad or not model._state_bad[("c", "d")]
+
+
+# ----------------------------------------------------------------------
+# propagation
+# ----------------------------------------------------------------------
+def test_distance():
+    assert distance(Position(0, 0), Position(3, 4)) == pytest.approx(5.0)
+
+
+def test_log_distance_path_loss_increases():
+    model = LogDistancePathLoss()
+    losses = [model.path_loss_db(d) for d in (1.0, 2.0, 5.0, 20.0)]
+    assert losses == sorted(losses)
+
+
+def test_log_distance_exact():
+    model = LogDistancePathLoss(reference_loss_db=40.0, exponent=3.0)
+    assert model.path_loss_db(10.0) == pytest.approx(40.0 + 30.0)
+
+
+def test_wall_attenuation_added():
+    model = LogDistancePathLoss(wall_loss_db=5.0)
+    assert model.path_loss_db(5.0, walls=2) - model.path_loss_db(5.0) == pytest.approx(10.0)
+
+
+def test_below_reference_distance_clamped():
+    model = LogDistancePathLoss()
+    assert model.path_loss_db(0.01) == model.path_loss_db(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(exponent=0.0)
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(reference_distance_m=0.0)
+
+
+def test_environment_snr():
+    env = RadioEnvironment(tx_power_dbm=15.0, noise_floor_dbm=-92.0)
+    env.place("ap", 0.0, 0.0)
+    env.place("sta", 10.0, 0.0)
+    loss = env.path_loss.path_loss_db(10.0)
+    assert env.snr_db("ap", "sta") == pytest.approx(15.0 - loss + 92.0)
+
+
+def test_environment_walls_and_shadowing_symmetric():
+    env = RadioEnvironment()
+    env.place("a", 0.0, 0.0)
+    env.place("b", 5.0, 0.0)
+    base = env.snr_db("a", "b")
+    env.set_walls("a", "b", 2)
+    walled = env.snr_db("a", "b")
+    assert walled < base
+    assert env.snr_db("b", "a") == pytest.approx(walled)
+    env.set_shadowing("a", "b", 10.0)
+    assert env.snr_db("a", "b") == pytest.approx(walled - 10.0)
+
+
+def test_environment_override():
+    env = RadioEnvironment()
+    env.override_snr("x", "y", 7.5)
+    assert env.snr_db("x", "y") == 7.5
+
+
+def test_environment_missing_node_raises():
+    env = RadioEnvironment()
+    env.place("a", 0.0, 0.0)
+    with pytest.raises(KeyError):
+        env.snr_db("a", "ghost")
+
+
+def test_snr_loss_model_tracks_environment():
+    env = RadioEnvironment()
+    env.override_snr("a", "b", 30.0)   # clean
+    env.override_snr("a", "c", -10.0)  # dead
+    model = SnrLoss(env, rng=random.Random(4))
+    assert model.loss_probability(frame("a", "b")) < 0.01
+    assert model.loss_probability(frame("a", "c")) > 0.99

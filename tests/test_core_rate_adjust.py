@@ -1,0 +1,148 @@
+"""Tests for the ADJUSTRATEEVENT policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import RateAdjustConfig, RateAdjuster, TokenBucket
+
+
+def make_buckets(rates, spends, now=1_000_000.0):
+    buckets = []
+    for i, (rate, spend) in enumerate(zip(rates, spends)):
+        b = TokenBucket(f"n{i}", rate=rate, depth_us=1e6)
+        b.charge(spend * now)  # spend expressed as a fraction of now
+        buckets.append(b)
+    return buckets, now
+
+
+def test_idle_station_donates_to_busy_one():
+    buckets, now = make_buckets([0.5, 0.5], [0.49, 0.05])
+    adjuster = RateAdjuster()
+    rates = adjuster.adjust(buckets, now)
+    assert rates["n1"] < 0.5  # idle donor
+    assert rates["n0"] > 0.5  # busy recipient
+    assert sum(rates.values()) == pytest.approx(1.0)
+
+
+def test_no_transfer_when_everyone_busy():
+    buckets, now = make_buckets([0.5, 0.5], [0.48, 0.47])
+    adjuster = RateAdjuster()
+    rates = adjuster.adjust(buckets, now)
+    assert rates == {"n0": 0.5, "n1": 0.5}
+    assert adjuster.adjustments == 0
+
+
+def test_no_transfer_when_everyone_idle():
+    buckets, now = make_buckets([0.5, 0.5], [0.01, 0.02])
+    rates = RateAdjuster().adjust(buckets, now)
+    assert rates == {"n0": 0.5, "n1": 0.5}
+
+
+def test_transfer_is_half_the_minimum_excess():
+    buckets, now = make_buckets([0.5, 0.5], [0.5, 0.1])
+    cfg = RateAdjustConfig(max_transfer=1.0)
+    adjuster = RateAdjuster(cfg)
+    rates = adjuster.adjust(buckets, now)
+    # n1's excess = 0.4 -> transfer 0.2.
+    assert adjuster.last_transfer == pytest.approx(0.2, abs=0.01)
+    assert rates["n1"] == pytest.approx(0.3, abs=0.01)
+
+
+def test_max_transfer_caps_movement():
+    buckets, now = make_buckets([0.5, 0.5], [0.5, 0.0])
+    adjuster = RateAdjuster(RateAdjustConfig(max_transfer=0.05))
+    adjuster.adjust(buckets, now)
+    assert adjuster.last_transfer <= 0.05 + 1e-9
+
+
+def test_min_rate_floor_respected():
+    buckets, now = make_buckets([0.1, 0.9], [0.0, 0.89])
+    adjuster = RateAdjuster(RateAdjustConfig(min_rate=0.08))
+    rates = adjuster.adjust(buckets, now)
+    assert rates["n0"] >= 0.08 - 1e-9
+
+
+def test_is_active_predicate_overrides_ratio():
+    # n1 spends little of its assignment but the scheduler vouches for
+    # it (crowded, not idle): no transfer may happen.
+    buckets, now = make_buckets([0.5, 0.5], [0.5, 0.2])
+    adjuster = RateAdjuster()
+    rates = adjuster.adjust(buckets, now, is_active=lambda b: True)
+    assert rates == {"n0": 0.5, "n1": 0.5}
+
+
+def test_is_active_predicate_can_mark_donor():
+    buckets, now = make_buckets([0.5, 0.5], [0.5, 0.2])
+    adjuster = RateAdjuster()
+    rates = adjuster.adjust(
+        buckets, now, is_active=lambda b: b.station != "n1"
+    )
+    assert rates["n1"] < 0.5
+
+
+def test_windows_reset_after_adjust():
+    buckets, now = make_buckets([0.5, 0.5], [0.4, 0.1])
+    RateAdjuster().adjust(buckets, now)
+    assert all(b.spent_since_adjust_us == 0.0 for b in buckets)
+    assert all(b.window_start_us == now for b in buckets)
+
+
+def test_three_station_redistribution_shares_equally():
+    buckets, now = make_buckets([1 / 3] * 3, [0.33, 0.32, 0.01])
+    adjuster = RateAdjuster(RateAdjustConfig(max_transfer=1.0))
+    rates = adjuster.adjust(buckets, now)
+    gain0 = rates["n0"] - 1 / 3
+    gain1 = rates["n1"] - 1 / 3
+    assert gain0 == pytest.approx(gain1)
+    assert gain0 > 0
+
+
+def test_normalize_rescales_to_total():
+    buckets, _ = make_buckets([0.2, 0.2], [0, 0])
+    RateAdjuster.normalize(buckets, total=1.0)
+    assert sum(b.rate for b in buckets) == pytest.approx(1.0)
+
+
+def test_normalize_handles_zero_rates():
+    buckets, _ = make_buckets([0.0, 0.0], [0, 0])
+    RateAdjuster.normalize(buckets, total=1.0)
+    assert [b.rate for b in buckets] == [0.5, 0.5]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RateAdjustConfig(threshold=0.0)
+    with pytest.raises(ValueError):
+        RateAdjustConfig(activity_floor=0.0)
+    with pytest.raises(ValueError):
+        RateAdjustConfig(min_rate=1.0)
+    with pytest.raises(ValueError):
+        RateAdjustConfig(max_transfer=0.0)
+    with pytest.raises(ValueError):
+        RateAdjustConfig(restore_fraction=2.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=1.0),  # rate weight
+            st.floats(min_value=0.0, max_value=1.0),   # utilization of rate
+        ),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_adjust_conserves_total_rate(spec):
+    total = sum(w for w, _ in spec)
+    now = 1_000_000.0
+    buckets = []
+    for i, (weight, utilization) in enumerate(spec):
+        rate = weight / total
+        b = TokenBucket(f"n{i}", rate=rate, depth_us=1e9)
+        b.charge(rate * utilization * now)
+        buckets.append(b)
+    before = sum(b.rate for b in buckets)
+    RateAdjuster(RateAdjustConfig(max_transfer=1.0)).adjust(buckets, now)
+    after = sum(b.rate for b in buckets)
+    assert after == pytest.approx(before, rel=1e-9)
+    assert all(b.rate >= 0 for b in buckets)

@@ -1,0 +1,104 @@
+"""Tests for the TBR token bucket."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import TokenBucket
+
+
+def bucket(rate=0.5, depth=100_000.0, initial=0.0):
+    return TokenBucket("sta", rate=rate, depth_us=depth, initial_us=initial)
+
+
+def test_initial_tokens_capped_at_depth():
+    b = TokenBucket("s", rate=0.5, depth_us=100.0, initial_us=1000.0)
+    assert b.tokens_us == 100.0
+
+
+def test_fill_accrues_rate_times_elapsed():
+    b = bucket(rate=0.25)
+    b.fill(1000.0)
+    assert b.tokens_us == 250.0
+    assert b.filled_us == 250.0
+
+
+def test_fill_caps_at_depth():
+    b = bucket(rate=1.0, depth=500.0)
+    b.fill(10_000.0)
+    assert b.tokens_us == 500.0
+
+
+def test_charge_can_overdraw():
+    b = bucket(initial=100.0)
+    b.charge(400.0)
+    assert b.tokens_us == -300.0
+    assert not b.eligible
+    assert b.spent_us == 400.0
+
+
+def test_eligible_requires_strictly_positive():
+    b = bucket(initial=0.0)
+    assert not b.eligible
+    b.fill(1.0)
+    assert b.eligible
+
+
+def test_actual_rate_over_window():
+    b = bucket()
+    b.charge(250.0)
+    assert b.actual_rate(now_us=1000.0) == pytest.approx(0.25)
+
+
+def test_actual_rate_empty_window():
+    assert bucket().actual_rate(0.0) == 0.0
+
+
+def test_reset_window_zeroes_usage():
+    b = bucket()
+    b.charge(500.0)
+    b.reset_window(now_us=1000.0)
+    assert b.actual_rate(2000.0) == 0.0
+    assert b.spent_us == 500.0  # lifetime total preserved
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TokenBucket("s", rate=0.5, depth_us=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket("s", rate=-0.1, depth_us=10.0)
+    b = bucket()
+    with pytest.raises(ValueError):
+        b.fill(-1.0)
+    with pytest.raises(ValueError):
+        b.charge(-1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["fill", "charge"]),
+            st.floats(min_value=0.0, max_value=10_000.0),
+        ),
+        max_size=60,
+    )
+)
+def test_bucket_invariants(ops):
+    """Balance never exceeds depth, and conservation holds:
+    tokens = initial + min(fills, caps applied) - charges,
+    checked via the weaker but exact bound tokens <= initial+filled-spent."""
+    b = TokenBucket("s", rate=0.5, depth_us=5_000.0, initial_us=1_000.0)
+    for op, amount in ops:
+        if op == "fill":
+            b.fill(amount)
+        else:
+            b.charge(amount)
+        assert b.tokens_us <= b.depth_us + 1e-9
+        assert b.tokens_us <= 1_000.0 + b.filled_us - b.spent_us + 1e-6
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=1.0, max_value=1e6))
+def test_fill_never_negative_contribution(rate, elapsed):
+    b = TokenBucket("s", rate=rate, depth_us=1e9)
+    before = b.tokens_us
+    b.fill(elapsed)
+    assert b.tokens_us >= before

@@ -1,0 +1,93 @@
+"""Per-packet latency metrics and the paper's latency claim.
+
+The paper (Section 2.1): under time-based fairness the slow node's
+performance measures "such as per-packet latency" match what it would
+see in a single-rate cell of its own speed, regardless of the peers.
+"""
+
+import pytest
+
+from repro.node import Cell
+from repro.sim import Simulator
+from repro.transport import FlowStats
+
+
+# ----------------------------------------------------------------------
+# FlowStats delay bookkeeping
+# ----------------------------------------------------------------------
+def test_delay_accumulation_and_mean():
+    stats = FlowStats(Simulator(), "f")
+    for d in (100.0, 200.0, 300.0):
+        stats.on_delay(d)
+    assert stats.mean_delay_us() == pytest.approx(200.0)
+
+
+def test_delay_percentiles():
+    stats = FlowStats(Simulator(), "f")
+    for d in range(1, 101):
+        stats.on_delay(float(d))
+    assert stats.delay_percentile_us(0) == 1.0
+    assert stats.delay_percentile_us(100) == 100.0
+    assert stats.delay_percentile_us(50) == pytest.approx(50.5)
+
+
+def test_delay_empty_and_validation():
+    stats = FlowStats(Simulator(), "f")
+    assert stats.mean_delay_us() == 0.0
+    assert stats.delay_percentile_us(95) == 0.0
+    with pytest.raises(ValueError):
+        stats.on_delay(-1.0)
+    with pytest.raises(ValueError):
+        stats.delay_percentile_us(150.0)
+
+
+def test_reset_clears_delays():
+    stats = FlowStats(Simulator(), "f")
+    stats.on_delay(5.0)
+    stats.reset()
+    assert stats.delays_us == []
+
+
+# ----------------------------------------------------------------------
+# end-to-end latency through the cell
+# ----------------------------------------------------------------------
+def test_udp_latency_recorded():
+    cell = Cell(seed=1)
+    station = cell.add_station("n1")
+    flow = cell.udp_flow(station, direction="down", rate_mbps=1.0)
+    cell.run(seconds=2.0)
+    assert len(flow.stats.delays_us) > 50
+    # One-way: wired 1 ms + queueing + one MAC exchange (~2.4 ms).
+    assert 1_000.0 < flow.stats.mean_delay_us() < 50_000.0
+
+
+def test_tcp_latency_recorded():
+    cell = Cell(seed=1)
+    station = cell.add_station("n1")
+    flow = cell.tcp_flow(station, direction="down")
+    cell.run(seconds=2.0)
+    assert flow.stats.delays_us
+    # Bulk TCP fills the AP queue: latency is dominated by queueing.
+    assert flow.stats.delay_percentile_us(95) > flow.stats.mean_delay_us() / 3
+
+
+def test_baseline_property_holds_for_latency():
+    """Slow node's UDP latency in a TBR mixed cell matches its latency
+    in an all-slow DCF cell (within a factor accounting for noise)."""
+
+    def slow_latency(scheduler, peer_rate):
+        cell = Cell(seed=4, scheduler=scheduler)
+        slow = cell.add_station("slow", rate_mbps=1.0)
+        peer = cell.add_station("peer", rate_mbps=peer_rate)
+        flow = cell.udp_flow(slow, direction="down", rate_mbps=0.3)
+        cell.udp_flow(peer, direction="down", rate_mbps=0.3 * peer_rate)
+        cell.run(seconds=8.0, warmup_seconds=2.0)
+        return flow.stats.mean_delay_us()
+
+    mixed_tf = slow_latency("tbr", 11.0)
+    same_rf = slow_latency("fifo", 1.0)
+    assert mixed_tf == pytest.approx(same_rf, rel=0.6)
+    # And under RF in the mixed cell the slow node fares no better
+    # (both its own and the peer's packets clog the shared queue).
+    mixed_rf = slow_latency("fifo", 11.0)
+    assert mixed_rf > 0.0

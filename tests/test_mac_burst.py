@@ -1,0 +1,125 @@
+"""Tests for OAR-style opportunistic bursting in the MAC."""
+
+import pytest
+
+from repro.mac import MacConfig
+from repro.phy import DOT11B_LONG_PREAMBLE
+
+from tests.conftest import MacHarness, SimplePacket
+
+PHY = DOT11B_LONG_PREAMBLE
+
+
+def burst_harness(rates, base=1.0, seed=1):
+    h = MacHarness(len(rates), rates=rates, seed=seed)
+    for mac in h.macs:
+        mac.config = MacConfig(burst_base_rate_mbps=base)
+    return h
+
+
+def test_burst_frames_config():
+    config = MacConfig(burst_base_rate_mbps=2.0)
+    assert config.burst_frames(11.0) == 5
+    assert config.burst_frames(2.0) == 1
+    assert config.burst_frames(1.0) == 1  # never below one frame
+    assert MacConfig().burst_frames(11.0) == 1  # disabled by default
+
+
+def test_burst_config_validation():
+    with pytest.raises(ValueError):
+        MacConfig(burst_base_rate_mbps=-1.0)
+
+
+def test_burst_sends_sifs_spaced_frames():
+    h = burst_harness([11.0], base=1.0)
+    starts = []
+    h.channel.add_sniffer(
+        lambda f, d, c, s, e: starts.append((s, e)) if f.is_data else None
+    )
+    h.saturate(0, depth=20)
+    h.run_seconds(0.05)
+    # Within a burst, gaps between consecutive data frames equal
+    # SIFS + ACK + SIFS exactly (no backoff).
+    from repro.phy import ack_airtime_us
+
+    burst_gap = PHY.sifs_us + ack_airtime_us(PHY, 2.0) + PHY.sifs_us
+    gaps = [b[0] - a[1] for a, b in zip(starts, starts[1:])]
+    sifs_gaps = [g for g in gaps if abs(g - burst_gap) < 1e-6]
+    assert len(sifs_gaps) >= 8  # most of an 11-frame burst
+
+
+def test_burst_limited_to_rate_ratio():
+    h = burst_harness([11.0], base=1.0)
+    starts = []
+    h.channel.add_sniffer(
+        lambda f, d, c, s, e: starts.append((s, e)) if f.is_data else None
+    )
+    h.saturate(0, depth=40)
+    h.run_seconds(0.2)
+    from repro.phy import ack_airtime_us
+
+    burst_gap = PHY.sifs_us + ack_airtime_us(PHY, 2.0) + PHY.sifs_us
+    # Count consecutive SIFS-spaced runs; none may exceed 11 frames.
+    run_length = 1
+    max_run = 1
+    for a, b in zip(starts, starts[1:]):
+        if abs((b[0] - a[1]) - burst_gap) < 1e-6:
+            run_length += 1
+        else:
+            run_length = 1
+        max_run = max(max_run, run_length)
+    assert max_run == 11
+
+
+def test_burst_restores_time_shares_in_mixed_cell():
+    h = burst_harness([1.0, 11.0], base=1.0, seed=5)
+    airtime = {0: 0.0, 1: 0.0}
+    for i, mac in enumerate(h.macs):
+        mac.add_completion_listener(
+            lambda rep, i=i: airtime.__setitem__(i, airtime[i] + rep.airtime_us)
+        )
+    h.saturate(0)
+    h.saturate(1)
+    h.run_seconds(3.0)
+    thr0 = h.throughput_mbps("sta0", 3.0)
+    thr1 = h.throughput_mbps("sta1", 3.0)
+    # Time shares near equal, throughput ratio near the rate ratio.
+    assert airtime[0] / airtime[1] < 1.6
+    assert thr1 / thr0 > 4.0
+
+
+def test_burst_aggregate_beats_plain_dcf():
+    plain = MacHarness(2, rates=[1.0, 11.0], seed=7)
+    plain.saturate(0)
+    plain.saturate(1)
+    plain.run_seconds(3.0)
+    plain_total = sum(plain.rx_bytes.values())
+
+    oar = burst_harness([1.0, 11.0], base=1.0, seed=7)
+    oar.saturate(0)
+    oar.saturate(1)
+    oar.run_seconds(3.0)
+    oar_total = sum(oar.rx_bytes.values())
+    assert oar_total > 1.5 * plain_total
+
+
+def test_burst_single_slow_station_unchanged():
+    # A 1 Mbps station has a burst window of one frame: identical to DCF.
+    plain = MacHarness(1, rates=[1.0], seed=2)
+    plain.saturate(0)
+    plain.run_seconds(2.0)
+
+    oar = burst_harness([1.0], base=1.0, seed=2)
+    oar.saturate(0)
+    oar.run_seconds(2.0)
+    assert oar.rx_bytes["sta0"] == plain.rx_bytes["sta0"]
+
+
+def test_burst_ends_on_empty_queue():
+    h = burst_harness([11.0], base=1.0)
+    # Only 3 packets: the burst closes early and the MAC goes idle.
+    for _ in range(3):
+        h.scheds[0].enqueue(SimplePacket("ap"))
+    h.run_seconds(0.5)
+    assert h.macs[0].tx_success == 3
+    assert not h.macs[0].busy_with_frame

@@ -1,0 +1,193 @@
+"""Tests for PHY rate tables, frame timing and error curves."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy import (
+    DOT11B_LONG_PREAMBLE,
+    DOT11B_SHORT_PREAMBLE,
+    DOT11B_RATES,
+    DOT11G_OFDM,
+    DOT11G_RATES,
+    ack_airtime_us,
+    ack_rate_for,
+    ber_for_rate,
+    frame_airtime_us,
+    frame_error_probability,
+    highest_rate_for_snr,
+    per_from_ber,
+    rate_by_mbps,
+)
+from repro.phy.phy import ACK_BYTES, LLC_SNAP_BYTES, MAC_DATA_OVERHEAD_BYTES
+
+
+# ----------------------------------------------------------------------
+# rate tables
+# ----------------------------------------------------------------------
+def test_dot11b_rates_present():
+    assert [r.mbps for r in DOT11B_RATES] == [1.0, 2.0, 5.5, 11.0]
+
+
+def test_dot11g_rates_present():
+    assert [r.mbps for r in DOT11G_RATES] == [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0]
+
+
+def test_rate_lookup():
+    assert rate_by_mbps(5.5).modulation == "CCK5.5"
+    assert rate_by_mbps(54).family == "g"
+
+
+def test_rate_lookup_unknown_raises():
+    with pytest.raises(ValueError):
+        rate_by_mbps(3.0)
+
+
+def test_bits_us():
+    assert rate_by_mbps(11.0).bits_us(11.0) == pytest.approx(1.0)
+
+
+def test_min_snr_ordered_by_rate():
+    snrs = [r.min_snr_db for r in DOT11B_RATES]
+    assert snrs == sorted(snrs)
+
+
+# ----------------------------------------------------------------------
+# timing constants
+# ----------------------------------------------------------------------
+def test_difs_is_sifs_plus_two_slots():
+    phy = DOT11B_LONG_PREAMBLE
+    assert phy.difs_us == pytest.approx(10.0 + 2 * 20.0)
+    assert DOT11G_OFDM.difs_us == pytest.approx(10.0 + 2 * 9.0)
+
+
+def test_eifs_includes_ack_at_lowest_basic():
+    phy = DOT11B_LONG_PREAMBLE
+    expected = 10.0 + 50.0 + ack_airtime_us(phy, 1.0)
+    assert phy.eifs_us() == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# frame airtime
+# ----------------------------------------------------------------------
+def test_data_airtime_dsss_exact():
+    phy = DOT11B_LONG_PREAMBLE
+    psdu = 1500 + MAC_DATA_OVERHEAD_BYTES + LLC_SNAP_BYTES
+    expected = 192.0 + 8.0 * psdu / 11.0
+    assert frame_airtime_us(phy, 1500, 11.0) == pytest.approx(expected)
+
+
+def test_data_airtime_short_preamble_saves_96us():
+    long = frame_airtime_us(DOT11B_LONG_PREAMBLE, 1500, 11.0)
+    short = frame_airtime_us(DOT11B_SHORT_PREAMBLE, 1500, 11.0)
+    assert long - short == pytest.approx(96.0)
+
+
+def test_data_airtime_without_llc():
+    phy = DOT11B_LONG_PREAMBLE
+    with_llc = frame_airtime_us(phy, 100, 1.0, include_llc=True)
+    without = frame_airtime_us(phy, 100, 1.0, include_llc=False)
+    assert with_llc - without == pytest.approx(8.0 * LLC_SNAP_BYTES / 1.0)
+
+
+def test_ofdm_airtime_symbol_quantized():
+    phy = DOT11G_OFDM
+    airtime = frame_airtime_us(phy, 1500, 54.0)
+    payload_part = airtime - phy.plcp_us
+    # OFDM payload time is a whole number of 4 us symbols.
+    assert payload_part % 4.0 == pytest.approx(0.0)
+    bits = 22 + 8 * (1500 + MAC_DATA_OVERHEAD_BYTES + LLC_SNAP_BYTES)
+    symbols = math.ceil(bits / (4.0 * 54.0))
+    assert airtime == pytest.approx(20.0 + 4.0 * symbols)
+
+
+def test_slower_rate_longer_airtime():
+    phy = DOT11B_LONG_PREAMBLE
+    times = [frame_airtime_us(phy, 1500, r.mbps) for r in DOT11B_RATES]
+    assert times == sorted(times, reverse=True)
+
+
+def test_ack_airtime():
+    phy = DOT11B_LONG_PREAMBLE
+    assert ack_airtime_us(phy, 2.0) == pytest.approx(192.0 + 8.0 * ACK_BYTES / 2.0)
+
+
+def test_airtime_rejects_bad_inputs():
+    phy = DOT11B_LONG_PREAMBLE
+    with pytest.raises(ValueError):
+        frame_airtime_us(phy, -1, 11.0)
+    with pytest.raises(ValueError):
+        frame_airtime_us(phy, 100, 0.0)
+
+
+def test_ack_rate_selection_b():
+    phy = DOT11B_LONG_PREAMBLE
+    assert ack_rate_for(phy, 11.0) == 2.0
+    assert ack_rate_for(phy, 5.5) == 2.0
+    assert ack_rate_for(phy, 2.0) == 2.0
+    assert ack_rate_for(phy, 1.0) == 1.0
+
+
+def test_ack_rate_selection_g():
+    assert ack_rate_for(DOT11G_OFDM, 54.0) == 24.0
+    assert ack_rate_for(DOT11G_OFDM, 9.0) == 6.0
+
+
+# ----------------------------------------------------------------------
+# error model
+# ----------------------------------------------------------------------
+def test_ber_decreases_with_snr():
+    for rate in (1.0, 2.0, 5.5, 11.0, 6.0, 54.0):
+        bers = [ber_for_rate(rate, snr) for snr in (-5.0, 0.0, 5.0, 10.0, 20.0)]
+        assert bers == sorted(bers, reverse=True)
+
+
+def test_faster_b_rates_need_more_snr():
+    # At a fixed mid-range SNR, BER must increase with rate.
+    bers = [ber_for_rate(r.mbps, 4.0) for r in DOT11B_RATES]
+    assert bers == sorted(bers)
+
+
+def test_per_from_ber_bounds():
+    assert per_from_ber(0.0, 1500) == 0.0
+    assert per_from_ber(0.5, 1500) == 1.0
+    assert 0.0 < per_from_ber(1e-5, 1500) < 1.0
+
+
+def test_per_from_ber_validation():
+    with pytest.raises(ValueError):
+        per_from_ber(-0.1, 100)
+    with pytest.raises(ValueError):
+        per_from_ber(1.5, 100)
+    with pytest.raises(ValueError):
+        per_from_ber(0.1, -1)
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=0.4),
+    st.integers(min_value=1, max_value=3000),
+)
+def test_per_monotone_in_frame_size(ber, nbytes):
+    assert per_from_ber(ber, nbytes) <= per_from_ber(ber, nbytes + 100) + 1e-12
+
+
+@given(st.floats(min_value=-10.0, max_value=40.0))
+def test_per_always_a_probability(snr):
+    for rate in (1.0, 11.0, 54.0):
+        per = frame_error_probability(rate, snr, 1500)
+        assert 0.0 <= per <= 1.0
+
+
+def test_highest_rate_for_snr_extremes():
+    assert highest_rate_for_snr(40.0) == 11.0
+    assert highest_rate_for_snr(-20.0) == 1.0
+
+
+def test_highest_rate_for_snr_monotone():
+    picks = [highest_rate_for_snr(snr) for snr in range(-5, 30)]
+    assert picks == sorted(picks)
+
+
+def test_highest_rate_custom_pool():
+    assert highest_rate_for_snr(40.0, rates=[6.0, 54.0]) == 54.0

@@ -1,0 +1,181 @@
+"""Tests for PeriodicTimer and generator processes."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Process, Simulator, Sleep, waituntil
+
+
+# ----------------------------------------------------------------------
+# PeriodicTimer
+# ----------------------------------------------------------------------
+def test_timer_fires_every_period():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 10.0, lambda elapsed: times.append(sim.now))
+    timer.start()
+    sim.run(until=35.0)
+    assert times == [10.0, 20.0, 30.0]
+
+
+def test_timer_reports_elapsed_since_last_fire():
+    sim = Simulator()
+    elapsed = []
+    timer = PeriodicTimer(sim, 7.0, elapsed.append)
+    timer.start()
+    sim.run(until=22.0)
+    assert elapsed == [7.0, 7.0, 7.0]
+
+
+def test_timer_stop_prevents_fires():
+    sim = Simulator()
+    count = []
+    timer = PeriodicTimer(sim, 10.0, lambda e: count.append(e))
+    timer.start()
+    sim.run(until=15.0)
+    timer.stop()
+    sim.run(until=100.0)
+    assert len(count) == 1
+
+
+def test_timer_restart_resets_phase():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 10.0, lambda e: times.append(sim.now))
+    timer.start()
+    sim.run(until=5.0)
+    timer.start()  # restart at t=5
+    sim.run(until=16.0)
+    assert times == [15.0]
+
+
+def test_timer_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda e: None)
+
+
+def test_timer_jitter_bounds():
+    sim = Simulator(seed=3)
+    times = []
+    timer = PeriodicTimer(
+        sim, 100.0, lambda e: times.append(e),
+        jitter_rng=sim.rng("jit"), jitter_fraction=0.2,
+    )
+    timer.start()
+    sim.run(until=2000.0)
+    assert times, "timer should have fired"
+    assert all(80.0 <= e <= 120.0 for e in times)
+
+
+def test_timer_jitter_fraction_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 10.0, lambda e: None, jitter_fraction=1.0)
+
+
+# ----------------------------------------------------------------------
+# Process
+# ----------------------------------------------------------------------
+def test_process_sleeps_advance_time():
+    sim = Simulator()
+    marks = []
+
+    def gen():
+        marks.append(sim.now)
+        yield 10.0
+        marks.append(sim.now)
+        yield Sleep(5.0)
+        marks.append(sim.now)
+
+    Process(sim, gen())
+    sim.run()
+    assert marks == [0.0, 10.0, 15.0]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def gen():
+        yield 1.0
+        return 42
+
+    proc = Process(sim, gen())
+    sim.run()
+    assert proc.finished
+    assert proc.result == 42
+
+
+def test_process_waits_on_condition():
+    sim = Simulator()
+    cond = waituntil()
+    got = []
+
+    def gen():
+        value = yield cond
+        got.append((sim.now, value))
+
+    Process(sim, gen())
+    sim.schedule(25.0, cond.fire, "payload")
+    sim.run()
+    assert got == [(25.0, "payload")]
+
+
+def test_condition_fire_idempotent():
+    sim = Simulator()
+    cond = waituntil()
+
+    def gen():
+        value = yield cond
+        return value
+
+    proc = Process(sim, gen())
+    cond.fire("first")
+    cond.fire("second")
+    sim.run()
+    assert proc.result == "first"
+
+
+def test_prefired_condition_resumes_immediately():
+    sim = Simulator()
+    cond = waituntil()
+    cond.fire("ready")
+
+    def gen():
+        value = yield cond
+        return value
+
+    proc = Process(sim, gen())
+    sim.run()
+    assert proc.result == "ready"
+
+
+def test_process_stop_terminates():
+    sim = Simulator()
+    marks = []
+
+    def gen():
+        yield 10.0
+        marks.append("should not happen")
+
+    proc = Process(sim, gen())
+    sim.run(until=5.0)
+    proc.stop()
+    sim.run()
+    assert marks == []
+    assert proc.finished
+
+
+def test_process_bad_yield_raises():
+    sim = Simulator()
+
+    def gen():
+        yield "nonsense"
+
+    Process(sim, gen())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_sleep_negative_rejected():
+    with pytest.raises(ValueError):
+        Sleep(-1.0)
