@@ -1,0 +1,67 @@
+"""Raw kernel microbenchmark: schedule/execute/cancel throughput.
+
+Exercises the kernel fast paths in isolation — batched scheduling
+(``schedule_many``), timer reuse (``reschedule``), and the
+lazy-cancellation/compaction machinery — so kernel-level regressions
+show up without any MAC/PHY noise on top.
+"""
+
+from repro.sim import Simulator
+
+from benchmarks.conftest import run_once
+
+N_BATCHES = 200
+BATCH = 100
+CHURN_ROUNDS = 20_000
+
+
+def _drive_kernel() -> dict:
+    sim = Simulator(seed=1)
+
+    # Batched one-shot events.
+    executed = []
+    for batch in range(N_BATCHES):
+        sim.schedule_many(
+            (float(i % 7), executed.append, batch * BATCH + i)
+            for i in range(BATCH)
+        )
+        sim.run()
+
+    # Timer reuse: one recycled event per round instead of an allocation.
+    count = [0, None]
+
+    def tick():
+        count[0] += 1
+        if count[0] < CHURN_ROUNDS:
+            count[1] = sim.reschedule(count[1], 1.0, tick)
+
+    count[1] = sim.schedule(1.0, tick)
+    sim.run()
+
+    # Cancellation churn: mass-cancel keeps pending_count O(1) honest
+    # and forces heap compactions.
+    for _ in range(50):
+        events = [sim.schedule(1000.0, lambda: None) for _ in range(200)]
+        for event in events[1:]:
+            event.cancel()
+    sim.run()
+
+    return {
+        "events_executed": sim.events_executed,
+        "compactions": sim.heap_compactions,
+        "batched": len(executed),
+        "reused_ticks": count[0],
+    }
+
+
+def bench_perf_kernel(benchmark, report):
+    stats = _drive_kernel()
+    result = run_once(benchmark, _drive_kernel)
+    report(
+        "perf_kernel",
+        "\n".join(f"{key}: {value}" for key, value in result.items()),
+    )
+    assert result == stats  # deterministic
+    assert result["batched"] == N_BATCHES * BATCH
+    assert result["reused_ticks"] == CHURN_ROUNDS
+    assert result["compactions"] > 0  # mass-cancel actually compacted

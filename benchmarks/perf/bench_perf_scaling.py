@@ -1,0 +1,47 @@
+"""Simulator scaling benchmark: events/sec on saturated cells.
+
+Unlike the figure/table benchmarks this one measures the simulator
+itself.  It runs a reduced matrix (the full one is ``python -m repro
+perf``), persists the rendered table under ``benchmarks/results/`` and
+writes the machine-readable trajectory to ``BENCH_perf.json`` at the
+repository root so the next PR has a number to beat.
+"""
+
+import pathlib
+
+from repro.perf import (
+    HEADLINE_KEY,
+    PerfScenario,
+    render_table,
+    run_matrix,
+    write_report,
+)
+
+from benchmarks.conftest import run_once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+SCENARIOS = [
+    PerfScenario(stations=n, scheduler=sched, profile="multi", seconds=0.5)
+    for sched in ("fifo", "drr", "tbr")
+    for n in (4, 16, 64)
+]
+
+
+def bench_perf_scaling(benchmark, report):
+    samples = run_once(benchmark, lambda: run_matrix(SCENARIOS))
+    report("perf_scaling", render_table(samples))
+    write_report(
+        samples,
+        REPO_ROOT / "BENCH_perf.json",
+        note="reduced matrix from benchmarks/perf/bench_perf_scaling.py",
+    )
+    by_key = {s.scenario.key: s for s in samples}
+    # Every scenario must have made real progress and carried traffic.
+    for sample in samples:
+        assert sample.events > 0, sample.scenario.key
+        assert sample.total_mbps > 0, sample.scenario.key
+    # The headline scenario (saturated multi-rate TBR at N=64) is the
+    # number tracked across PRs; guard against catastrophic regression.
+    headline = by_key[HEADLINE_KEY]
+    assert headline.events_per_sec > 50_000, headline.events_per_sec

@@ -26,10 +26,15 @@ def jain_index(values: Values) -> float:
         raise ValueError("need at least one value")
     if any(x < 0 for x in xs):
         raise ValueError("values must be non-negative")
-    total = sum(xs)
-    squares = sum(x * x for x in xs)
-    if squares == 0:
+    # Normalize by the largest value before squaring: tiny inputs would
+    # otherwise square into subnormals, whose rounding error can push
+    # the index outside its mathematical [1/n, 1] range.
+    peak = max(xs)
+    if peak == 0:
         return 1.0
+    total = sum(x / peak for x in xs)
+    # The element equal to peak contributes 1.0, so squares >= 1 here.
+    squares = sum((x / peak) ** 2 for x in xs)
     return total * total / (len(xs) * squares)
 
 

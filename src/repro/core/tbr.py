@@ -146,11 +146,21 @@ class TbrScheduler(ApScheduler):
     # FILLEVENT
     # ------------------------------------------------------------------
     def _fill_event(self, elapsed_us: float) -> None:
+        # Inlined TokenBucket.fill/eligible: this loop runs for every
+        # associated station once per fill interval (100 Hz by default),
+        # so at large N the attribute/property traffic dominates it.
         woke = False
         for bucket in self.buckets.values():
-            was_eligible = bucket.eligible
-            bucket.fill(elapsed_us)
-            if not was_eligible and bucket.eligible:
+            grant = elapsed_us * bucket.rate
+            bucket.filled_us += grant
+            tokens = bucket.tokens_us
+            was_eligible = tokens > 0.0
+            tokens += grant
+            depth = bucket.depth_us
+            if tokens > depth:
+                tokens = depth
+            bucket.tokens_us = tokens
+            if not was_eligible and tokens > 0.0:
                 woke = True
         if woke and self.mac is not None:
             self.mac.notify_pending()

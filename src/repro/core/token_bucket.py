@@ -55,7 +55,11 @@ class TokenBucket:
         return self.tokens_us > 0.0
 
     def fill(self, elapsed_us: float) -> None:
-        """FILLEVENT: accrue ``elapsed * rate`` tokens, capped at depth."""
+        """FILLEVENT: accrue ``elapsed * rate`` tokens, capped at depth.
+
+        NOTE: ``TbrScheduler._fill_event`` inlines this arithmetic (and
+        the :attr:`eligible` test) for speed — keep them in lockstep.
+        """
         if elapsed_us < 0:
             raise ValueError("elapsed must be non-negative")
         grant = elapsed_us * self.rate

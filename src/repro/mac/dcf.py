@@ -150,27 +150,38 @@ class DcfMac:
         #: (TBR client cooperation, paper Section 4.1).
         self.defer_hint_handler: Optional[Callable[[float], None]] = None
 
-        # Carrier state (mirrors the channel, with idle timestamps).
-        self._idle_start = 0.0
-        self._medium_busy = channel.busy
-
         # Current outgoing frame.
         self._current: Optional[Frame] = None
         self._attempts = 0
         self._airtime_accum = 0.0
         self._cw = phy.cw_min
 
-        # Backoff bookkeeping.
+        # Backoff bookkeeping.  Carrier state (busy flag, idle-start
+        # timestamp) is read off the channel at decision time instead of
+        # being mirrored per-listener; the MAC subscribes to carrier
+        # transitions only while a backoff is in progress, so the
+        # channel skips notification work for non-contending nodes.
         self._bo_slots = 0
         self._bo_anchor = 0.0
         self._bo_event = None
         self._backoff_active = False
+        #: spent backoff event kept for reuse (timer-reuse fast path).
+        self._bo_spare = None
 
-        # Pending ACK-response and ACK-timeout events.
+        # Pending ACK-response and ACK-timeout events (+ reuse spares).
         self._ack_tx_event = None
+        self._ack_tx_spare = None
         self._ack_timeout_event = None
+        self._ack_timeout_spare = None
         self._awaiting_ack_for: Optional[Frame] = None
         self._transmitting = False
+        #: precomputed ACK-timeout tail: SIFS + slot + ACK airtime at
+        #: the lowest basic rate (pure function of the PHY).
+        self._ack_timeout_base = (
+            phy.sifs_us
+            + phy.slot_us
+            + ack_airtime_us(phy, min(phy.basic_rates))
+        )
 
         # OAR burst state: frames this contention win may still send,
         # and whether the loaded frame continues a burst (SIFS access).
@@ -195,6 +206,12 @@ class DcfMac:
         self.rx_duplicates = 0
 
         channel.attach(self)
+        # Not contending yet: no carrier notifications until a backoff
+        # is armed (see _start_backoff / _countdown_expired), and only
+        # involved-frame notifications (we are destination, the frame
+        # was corrupted/broadcast, or our EIFS flag needs clearing).
+        channel.carrier_unsubscribe(self)
+        channel.frame_end_filtered(self)
 
     # ------------------------------------------------------------------
     # wiring
@@ -258,9 +275,10 @@ class DcfMac:
             # A (post-)backoff is already counting down; the frame will be
             # transmitted when it expires.
             return
-        now = self.sim.now
-        ifs = self._current_ifs()
-        if not self._medium_busy and (now - self._idle_start) >= ifs:
+        channel = self.channel
+        if not channel.carrier_busy and (
+            self.sim.now - channel.idle_start
+        ) >= self._current_ifs():
             # Immediate access: idle for at least DIFS already.
             self._transmit_current()
             return
@@ -274,8 +292,9 @@ class DcfMac:
         if draw:
             self._bo_slots = self._rng.randint(0, self._cw)
         self._backoff_active = True
-        if not self._medium_busy:
-            self._arm_countdown(self._idle_start)
+        self.channel.carrier_subscribe(self)
+        if not self.channel.carrier_busy:
+            self._arm_countdown(self.channel.idle_start)
         # else: countdown armed by on_idle.
 
     def _arm_countdown(self, idle_start: float) -> None:
@@ -293,8 +312,11 @@ class DcfMac:
         anchor = max(idle_start + self._current_ifs(), self.sim.now)
         self._bo_anchor = anchor
         expiry = anchor + self._bo_slots * self.phy.slot_us
-        self._bo_event = self.sim.schedule_at(
-            expiry, self._countdown_expired, priority=EventPriority.TX_START
+        spare = self._bo_spare
+        self._bo_spare = None
+        self._bo_event = self.sim.reschedule_at(
+            spare, expiry, self._countdown_expired,
+            priority=EventPriority.TX_START,
         )
 
     def _cancel_countdown(self) -> None:
@@ -303,9 +325,11 @@ class DcfMac:
             self._bo_event = None
 
     def _countdown_expired(self) -> None:
+        self._bo_spare = self._bo_event  # spent; reusable next arm
         self._bo_event = None
         self._backoff_active = False
         self._bo_slots = 0
+        self.channel.carrier_unsubscribe(self)
         if self._current is None:
             # Post-transmission backoff finished with nothing to send;
             # ask the scheduler in case traffic arrived meanwhile.
@@ -318,7 +342,6 @@ class DcfMac:
     # carrier-sense callbacks (from the channel)
     # ------------------------------------------------------------------
     def on_busy(self, busy_start: float) -> None:
-        self._medium_busy = True
         if self._bo_event is None:
             return
         if abs(self._bo_event.time - busy_start) < _SLOT_EPS:
@@ -334,8 +357,6 @@ class DcfMac:
         self._cancel_countdown()
 
     def on_idle(self, idle_start: float) -> None:
-        self._medium_busy = False
-        self._idle_start = idle_start
         if self._backoff_active and self._bo_event is None:
             self._arm_countdown(idle_start)
 
@@ -364,18 +385,16 @@ class DcfMac:
             )
             return
         self._awaiting_ack_for = frame
-        ack_rate = ack_rate_for(self.phy, frame.rate_mbps)
+        # The ACK rate itself is chosen by the receiver; the timeout only
+        # needs the (precomputed) worst-case tail at the lowest basic rate.
         timeout = (
-            duration
-            + self.phy.sifs_us
-            + self.phy.slot_us
-            + ack_airtime_us(self.phy, min(self.phy.basic_rates))
-            + self.config.ack_timeout_margin_us
+            duration + self._ack_timeout_base + self.config.ack_timeout_margin_us
         )
-        self._ack_timeout_event = self.sim.schedule(
-            timeout, self._ack_timeout, priority=EventPriority.HIGH
+        spare = self._ack_timeout_spare
+        self._ack_timeout_spare = None
+        self._ack_timeout_event = self.sim.reschedule(
+            spare, timeout, self._ack_timeout, priority=EventPriority.HIGH
         )
-        del ack_rate  # rate is chosen by the receiver; kept for clarity
 
     def _broadcast_done(self) -> None:
         self._transmitting = False
@@ -384,6 +403,7 @@ class DcfMac:
         self._finish_exchange(frame, success=True)
 
     def _ack_timeout(self) -> None:
+        self._ack_timeout_spare = self._ack_timeout_event  # spent; reusable
         self._ack_timeout_event = None
         self._transmitting = False
         frame = self._awaiting_ack_for
@@ -504,12 +524,17 @@ class DcfMac:
     # ------------------------------------------------------------------
     def on_frame_end(self, frame: Frame, corrupted: bool) -> None:
         if corrupted:
-            self._use_eifs = True
+            if not self._use_eifs:
+                self._use_eifs = True
+                self.channel.eifs_mark(self)
             if frame.dst == self.address:
                 self.rx_corrupted += 1
             return
-        self._use_eifs = False
-        if frame.dst != self.address and not frame.is_broadcast:
+        if self._use_eifs:
+            self._use_eifs = False
+            self.channel.eifs_unmark(self)
+        dst = frame.dst
+        if dst != self.address and dst != BROADCAST:
             return
         if frame.is_ack:
             if frame.defer_hint is not None and self.defer_hint_handler:
@@ -541,11 +566,15 @@ class DcfMac:
         ack.acked_seq = data_frame.seq
         if self.ack_decorator is not None:
             self.ack_decorator(ack, data_frame)
-        self._ack_tx_event = self.sim.schedule(
-            self.phy.sifs_us, self._send_ack, ack, priority=EventPriority.TX_START
+        spare = self._ack_tx_spare
+        self._ack_tx_spare = None
+        self._ack_tx_event = self.sim.reschedule(
+            spare, self.phy.sifs_us, self._send_ack, ack,
+            priority=EventPriority.TX_START,
         )
 
     def _send_ack(self, ack: Frame) -> None:
+        self._ack_tx_spare = self._ack_tx_event  # spent; reusable
         self._ack_tx_event = None
         duration = ack_airtime_us(self.phy, ack.rate_mbps)
         self.channel.transmit(ack, duration)

@@ -72,6 +72,10 @@ class AccessPoint:
         # Wired backbone pipes (one each way, generously provisioned).
         self.uplink_wire = WiredLink(sim, wired_delay_us, wired_rate_mbps)
         self.downlink_wire = WiredLink(sim, wired_delay_us, wired_rate_mbps)
+        # Prebound hot-path callables (one bound-method build per packet
+        # adds up in saturated cells).
+        self._downlink_send = self.downlink_wire.send
+        self._enqueue_downlink_cb = self._enqueue_downlink
 
         #: observers of downlink exchange completions (callable(report)).
         self.exchange_observers: List[Callable] = []
@@ -138,7 +142,7 @@ class AccessPoint:
     # ------------------------------------------------------------------
     def from_wire(self, packet: Packet) -> None:
         """Entry point for hosts: ship a packet over the backbone pipe."""
-        self.downlink_wire.send(packet, self._enqueue_downlink)
+        self._downlink_send(packet, self._enqueue_downlink_cb)
 
     def _enqueue_downlink(self, packet: Packet) -> None:
         packet.mac_dst = packet.station

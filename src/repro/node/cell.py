@@ -317,14 +317,19 @@ class Cell:
             via = station.send
             to_station = False
 
+        def on_rx(p) -> None:
+            sink.on_datagram(p.payload, p.size_bytes)
+
+        sim = self.sim
+
         def tx(size_bytes: int, datagram) -> None:
             pkt = Packet(
                 size_bytes,
                 sta_addr,
                 to_station=to_station,
                 payload=datagram,
-                on_receive=lambda p: sink.on_datagram(p.payload, p.size_bytes),
-                created_us=self.sim.now,
+                on_receive=on_rx,
+                created_us=sim.now,
             )
             via(pkt)
 

@@ -1,0 +1,51 @@
+"""Performance benchmark subsystem.
+
+``repro.perf`` measures the simulator itself: saturated cells at
+growing station counts, reported as kernel events per wall-clock second
+and persisted to ``BENCH_perf.json`` so every PR leaves a trajectory
+the next one has to beat.  Run it via ``python -m repro perf``.
+"""
+
+from repro.perf.scaling import (
+    DEFAULT_PROFILES,
+    DEFAULT_SCHEDULERS,
+    DEFAULT_SECONDS,
+    DEFAULT_STATION_COUNTS,
+    MULTI_RATES,
+    PerfSample,
+    PerfScenario,
+    build_cell,
+    matrix,
+    run_matrix,
+    run_scenario,
+)
+from repro.perf.report import (
+    DEFAULT_PATH,
+    HEADLINE_KEY,
+    build_report,
+    load_report,
+    render_table,
+    sample_row,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_PATH",
+    "DEFAULT_PROFILES",
+    "DEFAULT_SCHEDULERS",
+    "DEFAULT_SECONDS",
+    "DEFAULT_STATION_COUNTS",
+    "HEADLINE_KEY",
+    "MULTI_RATES",
+    "PerfSample",
+    "PerfScenario",
+    "build_cell",
+    "build_report",
+    "load_report",
+    "matrix",
+    "render_table",
+    "run_matrix",
+    "run_scenario",
+    "sample_row",
+    "write_report",
+]

@@ -1,0 +1,144 @@
+"""``python -m repro perf`` — run the simulator scaling benchmark.
+
+Examples::
+
+    python -m repro perf                         # full matrix -> BENCH_perf.json
+    python -m repro perf --stations 4,16         # subset of the matrix
+    python -m repro perf --schedulers tbr --profiles multi --seconds 2
+    python -m repro perf --no-json               # print the table only
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.perf.report import DEFAULT_PATH, HEADLINE_KEY, render_table, write_report
+from repro.perf.scaling import (
+    DEFAULT_PROFILES,
+    DEFAULT_SCHEDULERS,
+    DEFAULT_STATION_COUNTS,
+    matrix,
+    run_matrix,
+)
+
+
+def _csv(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description=(
+            "Measure simulator kernel throughput (events/sec) on "
+            "saturated cells and persist the trajectory to "
+            f"{DEFAULT_PATH}."
+        ),
+    )
+    parser.add_argument(
+        "--stations",
+        default=",".join(str(n) for n in DEFAULT_STATION_COUNTS),
+        help="comma-separated station counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--schedulers",
+        default=",".join(DEFAULT_SCHEDULERS),
+        help="comma-separated AP schedulers (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--profiles",
+        default=",".join(DEFAULT_PROFILES),
+        help="comma-separated rate profiles: same,multi (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="simulated seconds per scenario (default: per-N schedule)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_PATH,
+        metavar="PATH",
+        help=f"where to write the JSON report (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--no-json",
+        action="store_true",
+        help="print the table without writing the JSON report",
+    )
+    parser.add_argument(
+        "--note",
+        default="",
+        help="free-form note recorded in the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        station_counts = [int(n) for n in _csv(args.stations)]
+    except ValueError:
+        parser.error(f"invalid --stations {args.stations!r}")
+    if not station_counts:
+        parser.error("--stations must name at least one station count")
+    if any(n < 1 for n in station_counts):
+        parser.error("--stations values must be >= 1")
+    schedulers = _csv(args.schedulers)
+    profiles = _csv(args.profiles)
+    if not schedulers:
+        parser.error("--schedulers must name at least one scheduler")
+    if not profiles:
+        parser.error("--profiles must name at least one profile")
+    known_schedulers = ("fifo", "rr", "drr", "tbr")
+    for scheduler in schedulers:
+        if scheduler not in known_schedulers:
+            parser.error(
+                f"unknown scheduler {scheduler!r} "
+                f"(choose from {', '.join(known_schedulers)})"
+            )
+    for profile in profiles:
+        if profile not in ("same", "multi"):
+            parser.error(f"unknown profile {profile!r} (same, multi)")
+    seconds = None
+    if args.seconds is not None:
+        if args.seconds <= 0:
+            parser.error("--seconds must be positive")
+        seconds = {n: args.seconds for n in station_counts}
+
+    scenarios = matrix(
+        station_counts,
+        schedulers,
+        profiles,
+        seconds=seconds,
+        seed=args.seed,
+    )
+
+    def progress(sample) -> None:
+        sc = sample.scenario
+        print(
+            f"  {sc.key:<18} {sample.events:>8} events in "
+            f"{sample.wall_s:6.3f}s -> {sample.events_per_sec:>10,.0f} ev/s"
+        )
+
+    print(f"Running {len(scenarios)} scenarios (seed {args.seed}) ...")
+    samples = run_matrix(scenarios, progress=progress)
+    print()
+    print(render_table(samples))
+
+    headline = next(
+        (s for s in samples if s.scenario.key == HEADLINE_KEY), None
+    )
+    if headline is not None:
+        print(
+            f"\nheadline {HEADLINE_KEY}: "
+            f"{headline.events_per_sec:,.0f} events/sec"
+        )
+    if not args.no_json:
+        path = write_report(samples, args.json, note=args.note)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

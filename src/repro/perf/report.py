@@ -1,0 +1,111 @@
+"""Machine-readable perf trajectory: ``BENCH_perf.json``.
+
+The benchmark run writes one JSON document at the repository root so
+future PRs have a trajectory to beat.  The schema is deliberately flat:
+
+* ``spec`` — the matrix that was run (axes, seed, simulated seconds);
+* ``results`` — one row per scenario with events/sec and wall-clock per
+  simulated second;
+* ``headline`` — the N=64 saturated-TBR multi-rate scenario, the number
+  quoted in PR descriptions.
+
+Wall-clock figures are host-dependent; events-per-simulated-second is
+not, which is why both are recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.perf.scaling import PerfSample
+
+#: The scenario whose events/sec is the PR-over-PR headline number.
+HEADLINE_KEY = "tbr/multi/n64"
+
+#: Default artifact location (repo root when run from a checkout).
+DEFAULT_PATH = "BENCH_perf.json"
+
+
+def sample_row(sample: PerfSample) -> Dict:
+    """Flatten one sample into a JSON-friendly row."""
+    sc = sample.scenario
+    return {
+        "key": sc.key,
+        "stations": sc.stations,
+        "scheduler": sc.scheduler,
+        "profile": sc.profile,
+        "seed": sc.seed,
+        "sim_seconds": sc.seconds,
+        "events": sample.events,
+        "wall_s": round(sample.wall_s, 6),
+        "events_per_sec": round(sample.events_per_sec, 1),
+        "events_per_sim_s": round(sample.events_per_sim_s, 1),
+        "wall_s_per_sim_s": round(sample.wall_s_per_sim_s, 6),
+        "total_mbps": round(sample.total_mbps, 4),
+    }
+
+
+def build_report(samples: Iterable[PerfSample], *, note: str = "") -> Dict:
+    rows = [sample_row(s) for s in samples]
+    by_key = {row["key"]: row for row in rows}
+    headline = by_key.get(HEADLINE_KEY)
+    return {
+        "benchmark": "perf_scaling",
+        "paper": "conf_usenix_TanG04",
+        "metric": "events_per_sec (kernel events per wall-clock second)",
+        "python": platform.python_version(),
+        "note": note,
+        "headline": headline,
+        "results": rows,
+    }
+
+
+def write_report(
+    samples: Iterable[PerfSample],
+    path: Optional[str] = None,
+    *,
+    note: str = "",
+) -> Path:
+    """Write ``BENCH_perf.json``; returns the path written."""
+    target = Path(path if path is not None else DEFAULT_PATH)
+    report = build_report(samples, note=note)
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    return target
+
+
+def load_report(path: Optional[str] = None) -> Dict:
+    target = Path(path if path is not None else DEFAULT_PATH)
+    return json.loads(target.read_text())
+
+
+def render_table(samples: Iterable[PerfSample]) -> str:
+    """Fixed-width events/sec table for the CLI."""
+    headers = (
+        "scenario", "N", "sim s", "events", "events/sec",
+        "wall s / sim s", "Mbps",
+    )
+    rows: List[List[str]] = []
+    for s in samples:
+        sc = s.scenario
+        rows.append(
+            [
+                f"{sc.scheduler}/{sc.profile}",
+                str(sc.stations),
+                f"{sc.seconds:g}",
+                str(s.events),
+                f"{s.events_per_sec:,.0f}",
+                f"{s.wall_s_per_sim_s:.3f}",
+                f"{s.total_mbps:.2f}",
+            ]
+        )
+    cells = [list(headers)] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = ["Simulator scaling (saturated cells)"]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

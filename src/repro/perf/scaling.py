@@ -1,0 +1,188 @@
+"""Scaling harness: how fast does the simulator itself run?
+
+Every paper artifact in this repository is a discrete-event simulation,
+so kernel throughput (executed events per wall-clock second) is the
+ceiling on how many scenarios, seeds and station counts we can afford.
+This module builds *saturated* cells — every station's downlink queue is
+kept backlogged by a UDP source offering more than its fair share — at
+increasing station counts and measures:
+
+* ``events_per_sec`` — kernel events executed per wall-clock second,
+  the headline metric tracked across PRs in ``BENCH_perf.json``;
+* ``wall_s_per_sim_s`` — wall-clock seconds needed per simulated
+  second, the quantity an experiment author actually budgets for.
+
+Scenarios come in two rate profiles mirroring the paper's cells:
+``same`` (everyone at 11 Mbps, Figure 8's regime) and ``multi``
+(stations cycling through 1/2/5.5/11 Mbps, Figure 9's regime — the one
+where time-based fairness matters).  Schedulers are the AP disciplines
+the experiments compare: FIFO, DRR and the paper's TBR.
+
+The harness is deliberately deterministic (fixed seed, fixed offered
+load) so events-per-second numbers are comparable across commits; only
+the wall clock varies with the host.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.node.cell import Cell
+
+#: Rate ladder used by the ``multi`` profile (the paper's 802.11b set).
+MULTI_RATES = (1.0, 2.0, 5.5, 11.0)
+
+#: Station counts the standard matrix sweeps.
+DEFAULT_STATION_COUNTS = (4, 16, 64, 128)
+
+#: AP disciplines the standard matrix sweeps.
+DEFAULT_SCHEDULERS = ("fifo", "drr", "tbr")
+
+#: Rate profiles the standard matrix sweeps.
+DEFAULT_PROFILES = ("same", "multi")
+
+#: Simulated seconds per station count: larger cells get shorter runs so
+#: the whole matrix stays affordable while each run still executes
+#: enough events for a stable rate estimate.
+DEFAULT_SECONDS: Dict[int, float] = {4: 2.0, 16: 1.0, 64: 0.5, 128: 0.25}
+
+#: Total offered downlink load (Mbps) across all stations.  Well above
+#: any 802.11b cell's capacity, so the AP queue stays backlogged and the
+#: cell is saturated regardless of N or rate profile.
+OFFERED_TOTAL_MBPS = 24.0
+
+#: Per-station floor on the offered rate so large cells stay saturated
+#: per-queue too (each station's share of a 100-packet AP buffer).
+OFFERED_FLOOR_MBPS = 0.15
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One cell configuration of the scaling matrix."""
+
+    stations: int
+    scheduler: str  # "fifo" | "drr" | "tbr"
+    profile: str = "multi"  # "same" | "multi"
+    seconds: float = 1.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stations < 1:
+            raise ValueError("stations must be >= 1")
+        if self.profile not in ("same", "multi"):
+            raise ValueError(f"unknown profile {self.profile!r}")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``tbr/multi/n64``."""
+        return f"{self.scheduler}/{self.profile}/n{self.stations}"
+
+    def station_rates(self) -> List[float]:
+        if self.profile == "same":
+            return [11.0] * self.stations
+        return [MULTI_RATES[i % len(MULTI_RATES)] for i in range(self.stations)]
+
+    def offered_mbps_per_station(self) -> float:
+        return max(OFFERED_FLOOR_MBPS, OFFERED_TOTAL_MBPS / self.stations)
+
+
+@dataclass
+class PerfSample:
+    """Measured outcome of one scenario run."""
+
+    scenario: PerfScenario
+    events: int
+    wall_s: float
+    sim_s: float
+    total_mbps: float
+    pending_at_end: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def wall_s_per_sim_s(self) -> float:
+        return self.wall_s / self.sim_s if self.sim_s > 0 else 0.0
+
+    @property
+    def events_per_sim_s(self) -> float:
+        return self.events / self.sim_s if self.sim_s > 0 else 0.0
+
+
+def build_cell(scenario: PerfScenario) -> Cell:
+    """Assemble the saturated cell for ``scenario`` (not yet run)."""
+    cell = Cell(seed=scenario.seed, scheduler=scenario.scheduler)
+    offered = scenario.offered_mbps_per_station()
+    for i, rate in enumerate(scenario.station_rates()):
+        station = cell.add_station(f"n{i + 1:03d}", rate_mbps=rate)
+        cell.udp_flow(station, direction="down", rate_mbps=offered)
+    return cell
+
+
+def run_scenario(scenario: PerfScenario) -> PerfSample:
+    """Run one scenario under the wall clock and report kernel rates."""
+    cell = build_cell(scenario)
+    sim = cell.sim
+    start_events = sim.events_executed
+    t0 = time.perf_counter()
+    cell.run(seconds=scenario.seconds)
+    wall = time.perf_counter() - t0
+    return PerfSample(
+        scenario=scenario,
+        events=sim.events_executed - start_events,
+        wall_s=wall,
+        sim_s=scenario.seconds,
+        total_mbps=cell.total_throughput_mbps(),
+        pending_at_end=sim.pending_count(),
+    )
+
+
+def matrix(
+    station_counts: Sequence[int] = DEFAULT_STATION_COUNTS,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    profiles: Sequence[str] = DEFAULT_PROFILES,
+    *,
+    seconds: Optional[Dict[int, float]] = None,
+    seed: int = 1,
+) -> List[PerfScenario]:
+    """The cross product of the requested axes, in deterministic order."""
+    for n in station_counts:
+        if n < 1:
+            raise ValueError(f"station counts must be >= 1, got {n}")
+    table = dict(DEFAULT_SECONDS)
+    if seconds:
+        table.update(seconds)
+    scenarios = []
+    for profile in profiles:
+        for scheduler in schedulers:
+            for n in station_counts:
+                scenarios.append(
+                    PerfScenario(
+                        stations=n,
+                        scheduler=scheduler,
+                        profile=profile,
+                        seconds=table.get(n, max(0.25, 32.0 / n)),
+                        seed=seed,
+                    )
+                )
+    return scenarios
+
+
+def run_matrix(
+    scenarios: Iterable[PerfScenario],
+    *,
+    progress=None,
+) -> List[PerfSample]:
+    """Run every scenario; ``progress(sample)`` is called after each."""
+    samples = []
+    for scenario in scenarios:
+        sample = run_scenario(scenario)
+        samples.append(sample)
+        if progress is not None:
+            progress(sample)
+    return samples

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.phy.rates import basic_rates_b, basic_rates_g
 
@@ -47,15 +47,34 @@ class PhyParams:
     #: bits prepended to the OFDM payload (SERVICE + tail), dsss: 0.
     ofdm_service_tail_bits: int = 0
 
+    def __post_init__(self) -> None:
+        # Per-instance memo tables for the pure timing functions below.
+        # They are *not* dataclass fields, so equality, hashing and repr
+        # are untouched; ``object.__setattr__`` sidesteps frozen-ness.
+        # Airtime is computed on every exchange and every EIFS lookup,
+        # and the key spaces (PSDU size x rate) are tiny in practice.
+        object.__setattr__(self, "_psdu_cache", {})
+        object.__setattr__(self, "_ack_rate_cache", {})
+        object.__setattr__(self, "_eifs_cache", {})
+        object.__setattr__(
+            self, "_difs_us", self.sifs_us + 2.0 * self.slot_us
+        )
+
     @property
     def difs_us(self) -> float:
         """DIFS = SIFS + 2 slots."""
-        return self.sifs_us + 2.0 * self.slot_us
+        return self._difs_us
 
-    def eifs_us(self, lowest_rate_mbps: float = None) -> float:
+    def eifs_us(self, lowest_rate_mbps: Optional[float] = None) -> float:
         """EIFS = SIFS + DIFS + ACK airtime at the lowest basic rate."""
+        cache: Dict[Optional[float], float] = self._eifs_cache
+        cached = cache.get(lowest_rate_mbps)
+        if cached is not None:
+            return cached
         rate = lowest_rate_mbps if lowest_rate_mbps is not None else min(self.basic_rates)
-        return self.sifs_us + self.difs_us + ack_airtime_us(self, rate)
+        value = self.sifs_us + self._difs_us + ack_airtime_us(self, rate)
+        cache[lowest_rate_mbps] = value
+        return value
 
 
 DOT11B_LONG_PREAMBLE = PhyParams(
@@ -94,19 +113,32 @@ DOT11G_OFDM = PhyParams(
 
 
 def _psdu_airtime_us(phy: PhyParams, psdu_bytes: int, rate_mbps: float) -> float:
-    """Airtime of a PSDU of ``psdu_bytes`` at ``rate_mbps`` on ``phy``."""
+    """Airtime of a PSDU of ``psdu_bytes`` at ``rate_mbps`` on ``phy``.
+
+    Memoized per PHY instance on ``(psdu_bytes, rate_mbps)`` — the
+    function is pure and the MAC asks the same handful of questions
+    millions of times per simulated minute.
+    """
+    cache: Dict[Tuple[int, float], float] = phy._psdu_cache
+    key = (psdu_bytes, rate_mbps)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     if psdu_bytes < 0:
         raise ValueError("psdu_bytes must be non-negative")
     if rate_mbps <= 0:
         raise ValueError("rate must be positive")
     bits = 8.0 * psdu_bytes
     if phy.mode == "dsss":
-        return phy.plcp_us + bits / rate_mbps
-    if phy.mode == "ofdm":
+        value = phy.plcp_us + bits / rate_mbps
+    elif phy.mode == "ofdm":
         bits_per_symbol = 4.0 * rate_mbps
         symbols = math.ceil((phy.ofdm_service_tail_bits + bits) / bits_per_symbol)
-        return phy.plcp_us + 4.0 * symbols
-    raise ValueError(f"unknown phy mode {phy.mode!r}")
+        value = phy.plcp_us + 4.0 * symbols
+    else:
+        raise ValueError(f"unknown phy mode {phy.mode!r}")
+    cache[key] = value
+    return value
 
 
 def frame_airtime_us(
@@ -139,9 +171,13 @@ def ack_rate_for(phy: PhyParams, data_rate_mbps: float) -> float:
 
     Falls back to the lowest basic rate when the data rate is below every
     basic rate (cannot happen for standard-compliant rate sets, but keeps
-    the function total).
+    the function total).  Memoized per PHY instance.
     """
+    cache: Dict[float, float] = phy._ack_rate_cache
+    cached = cache.get(data_rate_mbps)
+    if cached is not None:
+        return cached
     candidates = [r for r in phy.basic_rates if r <= data_rate_mbps]
-    if candidates:
-        return max(candidates)
-    return min(phy.basic_rates)
+    value = max(candidates) if candidates else min(phy.basic_rates)
+    cache[data_rate_mbps] = value
+    return value

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class EventPriority(enum.IntEnum):
@@ -32,10 +32,26 @@ class Event:
 
     Events are created by :meth:`repro.sim.kernel.Simulator.schedule` and
     support *lazy cancellation*: :meth:`cancel` marks the event dead and
-    the kernel discards it when it reaches the head of the heap.
+    the kernel discards it when it reaches the head of the heap.  The
+    kernel keeps live/stale counts (via ``_kernel``) so cancellation is
+    O(1) and heaps dominated by dead entries can be compacted.
+
+    A spent event (executed or discarded, i.e. no longer in the heap)
+    can be recycled through :meth:`Simulator.reschedule`, which saves an
+    allocation on high-churn timers such as MAC backoff and ACK-timeout.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "cancelled",
+        "_kernel",
+        "_in_heap",
+        "_transient",
+    )
 
     def __init__(
         self,
@@ -44,6 +60,7 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        kernel: Optional[object] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -51,10 +68,20 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: owning kernel, informed of cancellations for O(1) accounting.
+        self._kernel = kernel
+        #: True while a heap entry references this event.
+        self._in_heap = False
+        #: True for fire-and-forget events the kernel may recycle after
+        #: execution (see Simulator.schedule_transient).
+        self._transient = False
 
     def cancel(self) -> None:
         """Mark this event dead; the kernel will skip it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_heap and self._kernel is not None:
+                self._kernel._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -65,7 +92,11 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self._sort_key() < other._sort_key()
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"

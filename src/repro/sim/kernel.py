@@ -1,12 +1,40 @@
-"""The discrete-event simulation kernel."""
+"""The discrete-event simulation kernel.
+
+Hot-path design notes
+---------------------
+
+The heap holds ``(time, priority, seq, event)`` tuples rather than bare
+:class:`Event` objects, so every sift comparison inside ``heapq`` is a C
+tuple comparison instead of a Python-level ``Event.__lt__`` call — in
+saturated-cell workloads those comparisons used to be the single largest
+cost in the profile.  ``seq`` is unique, so the tuple comparison never
+falls through to comparing events.
+
+Cancellation is lazy (a dead entry stays queued until it surfaces), but
+the kernel keeps O(1) live/stale counts and compacts the heap in place
+when stale entries outnumber live ones — saturated DCF cancels a
+backoff or ACK-timeout event on almost every exchange, and without
+compaction those corpses inflate every subsequent sift.
+
+``reschedule``/``reschedule_at`` recycle a spent :class:`Event` object
+(one that already executed or was discarded) so high-churn timers — MAC
+backoff, ACK timeouts, periodic fill timers — do not allocate a fresh
+event per cycle.  ``schedule_many`` batches the bookkeeping for callers
+that enqueue several events at once.
+"""
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Optional
+from heapq import heapify, heappush
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.event import Event, EventPriority
+
+#: Compact only when at least this many stale entries accumulated (tiny
+#: heaps are cheaper to drain lazily than to rebuild).
+_COMPACT_MIN_STALE = 64
 
 
 class SimulationError(RuntimeError):
@@ -28,11 +56,19 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._now = 0.0
-        self._heap: list[Event] = []
+        #: heap of (time, priority, seq, event) — see module docstring.
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: non-cancelled events currently queued (O(1) pending_count).
+        self._live = 0
+        #: cancelled events still occupying heap entries.
+        self._stale = 0
+        self._compactions = 0
+        #: recycled transient Event objects (see schedule_transient).
+        self._free: List[Event] = []
         self._rngs: dict[str, random.Random] = {}
 
     # ------------------------------------------------------------------
@@ -47,6 +83,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events executed so far (for budget checks in tests)."""
         return self._events_executed
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many times the stale-dominated heap was rebuilt."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # randomness
@@ -75,7 +116,17 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` us from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        # Inlined schedule_at: this is the hottest allocation site in
+        # saturated cells, one delegation frame matters.
+        time = self._now + delay
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, prio, seq, callback, args, self)
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
+        return event
 
     def schedule_at(
         self,
@@ -89,9 +140,89 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, now is {self._now!r}"
             )
-        event = Event(time, int(priority), self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, prio, seq, callback, args, self)
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
+        return event
+
+    def schedule_many(
+        self,
+        requests: Iterable[Sequence],
+        *,
+        priority: int = EventPriority.NORMAL,
+    ) -> List[Event]:
+        """Batch-schedule ``(delay, callback, *args)`` tuples.
+
+        All delays are relative to the current time and must be
+        non-negative.  Returns the created events in request order (the
+        order that fixes same-timestamp ties).
+        """
+        batch = [tuple(request) for request in requests]
+        for request in batch:
+            if request[0] < 0:
+                raise SimulationError(f"negative delay {request[0]!r}")
+        prio = priority if type(priority) is int else int(priority)
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        events: List[Event] = []
+        append = events.append
+        for request in batch:
+            time = now + request[0]
+            event = Event(time, prio, seq, request[1], request[2:], self)
+            event._in_heap = True
+            heappush(heap, (time, prio, seq, event))
+            seq += 1
+            append(event)
+        self._live += len(events)
+        self._seq = seq
+        return events
+
+    def schedule_transient(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule a fire-and-forget callback, recycling event objects.
+
+        Like :meth:`schedule`, but the kernel takes the returned event
+        back into a free list once it has executed, after which the
+        object may already represent a *different* scheduled callback.
+        Callers therefore MUST NOT retain the returned event past its
+        execution: no :meth:`reschedule`, and no :meth:`Event.cancel`
+        after it may have fired (cancelling an unrelated recycled
+        occupant would silently drop that event).  Cancelling strictly
+        *before* execution is safe — a cancelled transient is not
+        recycled.  Use for per-frame/per-packet events nobody keeps:
+        wire deliveries, channel frame-ends, one-shot notifications.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self._now + delay
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = prio
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, prio, seq, callback, args, self)
+            event._transient = True
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
         return event
 
     def call_soon(
@@ -103,11 +234,111 @@ class Simulator:
         """Schedule ``callback`` at the current time (after current event)."""
         return self.schedule_at(self._now, callback, *args, priority=priority)
 
+    def reschedule(
+        self,
+        event: Optional[Event],
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Like :meth:`schedule`, but recycles ``event`` when possible.
+
+        ``event`` may be ``None`` (plain allocation) or a previously
+        returned event.  A *spent* event — already executed or already
+        discarded from the heap — is reused in place; an event still
+        queued (including a lazily-cancelled one) cannot be touched and a
+        fresh event is allocated instead.  Either way the returned event
+        is the live one.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self._now + delay
+        if event is None or event._in_heap or event._kernel is not self:
+            return self.schedule_at(time, callback, *args, priority=priority)
+        # Inlined reuse path (mirrors reschedule_at, minus the past-time
+        # check: delay >= 0 guarantees time >= now).
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.priority = prio
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
+        return event
+
+    def reschedule_at(
+        self,
+        event: Optional[Event],
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Absolute-time variant of :meth:`reschedule`."""
+        if event is None or event._in_heap or event._kernel is not self:
+            return self.schedule_at(time, callback, *args, priority=priority)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._now!r}"
+            )
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.priority = prio
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
+        return event
+
     @staticmethod
     def cancel(event: Optional[Event]) -> None:
         """Cancel an event; ``None`` is accepted and ignored."""
         if event is not None:
             event.cancel()
+
+    # ------------------------------------------------------------------
+    # lazy-cancellation accounting
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-heap event was cancelled (called by :meth:`Event.cancel`)."""
+        self._live -= 1
+        stale = self._stale + 1
+        self._stale = stale
+        if stale > _COMPACT_MIN_STALE and stale > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without stale entries.
+
+        In-place (``heap[:] = ...``) so the loop in :meth:`run`, which
+        binds the heap list locally, keeps seeing the same object.  The
+        sort key ``(time, priority, seq)`` is a total order, so the
+        rebuilt heap pops in exactly the same sequence.
+        """
+        heap = self._heap
+        live_entries = []
+        keep = live_entries.append
+        for entry in heap:
+            event = entry[3]
+            if event.cancelled:
+                event._in_heap = False
+            else:
+                keep(entry)
+        heap[:] = live_entries
+        heapify(heap)
+        self._stale = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -128,25 +359,43 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # Local bindings and sentinels shave per-iteration work from the
+        # hottest loop in the repository: float("inf") replaces the
+        # ``until is not None`` test, -1 the ``max_events`` one.
+        heap = self._heap
+        heappop = heapq.heappop
+        free = self._free
+        horizon = float("inf") if until is None else until
+        budget = -1 if max_events is None else max_events
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                if max_events is not None and executed >= max_events:
+                if executed == budget:
                     break
-                event = self._heap[0]
+                entry = heap[0]
+                event = entry[3]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self._stale -= 1
+                    event._in_heap = False
                     continue
-                if until is not None and event.time >= until:
+                time = entry[0]
+                if time >= horizon and until is not None:
+                    # (The second test matters only for events scheduled
+                    # at +inf with no horizon: those still execute.)
                     self._now = until
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                heappop(heap)
+                self._live -= 1
+                event._in_heap = False
+                self._now = time
                 callback, args = event.callback, event.args
                 # Break reference cycles and make double-execution obvious.
                 event.callback = None  # type: ignore[assignment]
                 event.args = ()
+                if event._transient and len(free) < 512:
+                    free.append(event)
                 callback(*args)
                 executed += 1
                 self._events_executed += 1
@@ -168,10 +417,13 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            _, _, _, event = heapq.heappop(heap)
+            self._stale -= 1
+            event._in_heap = False
+        return heap[0][0] if heap else None
 
     def pending_count(self) -> int:
-        """Number of non-cancelled events currently queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events currently queued.  O(1)."""
+        return self._live

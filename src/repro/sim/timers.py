@@ -66,8 +66,10 @@ class PeriodicTimer:
         return self.period
 
     def _schedule_next(self) -> None:
-        self._event = self.sim.schedule(
-            self._next_delay(), self._fire, priority=self.priority
+        # Recycle the just-fired event object (timer-reuse fast path);
+        # a cancelled-in-heap event falls back to a fresh allocation.
+        self._event = self.sim.reschedule(
+            self._event, self._next_delay(), self._fire, priority=self.priority
         )
 
     def _fire(self) -> None:

@@ -79,14 +79,19 @@ class UdpSender:
         return self.interval_us + self._rng.uniform(-spread, spread)
 
     def _fire(self) -> None:
-        if self.stop_us is not None and self.sim.now >= self.stop_us:
+        sim = self.sim
+        now = sim.now
+        if self.stop_us is not None and now >= self.stop_us:
             self._timer = None
             return
-        self._seq += 1
+        seq = self._seq + 1
+        self._seq = seq
         self.sent += 1
-        self.tx(self.packet_bytes, UdpDatagram(self._seq, self.sim.now))
-        self._timer = self.sim.schedule(
-            self._next_interval(), self._fire, priority=EventPriority.NORMAL
+        self.tx(self.packet_bytes, UdpDatagram(seq, now))
+        # Recycle the just-fired timer event instead of allocating anew.
+        self._timer = sim.reschedule(
+            self._timer, self._next_interval(), self._fire,
+            priority=EventPriority.NORMAL,
         )
 
     def stop(self) -> None:

@@ -34,15 +34,22 @@ class WiredLink:
 
     def send(self, packet: Any, deliver: Callable[[Any], None]) -> None:
         """Queue ``packet``; ``deliver(packet)`` fires after the pipe."""
-        now = self.sim.now
-        if self.rate_mbps > 0:
-            serialization = packet.size_bytes * 8.0 / self.rate_mbps
-            start = max(now, self._busy_until)
-            self._busy_until = start + serialization
-            ready = self._busy_until
+        sim = self.sim
+        now = sim.now
+        rate = self.rate_mbps
+        if rate > 0:
+            start = self._busy_until
+            if now > start:
+                start = now
+            ready = start + packet.size_bytes * 8.0 / rate
+            self._busy_until = ready
         else:
             ready = now
-        self.sim.schedule_at(ready + self.delay_us, self._deliver, packet, deliver)
+        # Fire-and-forget: nobody keeps (or cancels) delivery events, so
+        # let the kernel recycle the event objects.
+        sim.schedule_transient(
+            ready - now + self.delay_us, self._deliver, packet, deliver
+        )
 
     def _deliver(self, packet: Any, deliver: Callable[[Any], None]) -> None:
         self.delivered += 1

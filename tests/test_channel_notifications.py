@@ -1,0 +1,193 @@
+"""Tests for the channel's snapshot/subscription notification paths."""
+
+import pytest
+
+from repro.channel import Channel
+from repro.mac.frames import BROADCAST, Frame, FrameType
+from repro.sim import Simulator
+
+
+class RecordingListener:
+    def __init__(self, address):
+        self.address = address
+        self.busy_events = []
+        self.idle_events = []
+        self.frames = []
+
+    def on_busy(self, busy_start):
+        self.busy_events.append(busy_start)
+
+    def on_idle(self, idle_start):
+        self.idle_events.append(idle_start)
+
+    def on_frame_end(self, frame, corrupted):
+        self.frames.append((frame, corrupted))
+
+
+def data_frame(src, dst, size=1500, rate=11.0):
+    return Frame(FrameType.DATA, src, dst, size, rate)
+
+
+def setup(n=3):
+    sim = Simulator(seed=1)
+    channel = Channel(sim)
+    listeners = [RecordingListener(f"n{i}") for i in range(n)]
+    for listener in listeners:
+        channel.attach(listener)
+    return sim, channel, listeners
+
+
+# ----------------------------------------------------------------------
+# carrier subscription
+# ----------------------------------------------------------------------
+def test_listeners_subscribed_by_default():
+    sim, channel, (a, b, c) = setup()
+    channel.transmit(data_frame("n0", "n1"), 100.0)
+    sim.run()
+    for listener in (a, b, c):
+        assert listener.busy_events == [0.0]
+        assert listener.idle_events == [100.0]
+
+
+def test_unsubscribed_listener_skips_carrier_but_not_frames():
+    sim, channel, (a, b, c) = setup()
+    channel.carrier_unsubscribe(c)
+    frame = data_frame("n0", "n1")
+    channel.transmit(frame, 100.0)
+    sim.run()
+    assert c.busy_events == [] and c.idle_events == []
+    assert b.busy_events == [0.0]
+    assert (frame, False) in c.frames  # frame-end unaffected
+
+
+def test_resubscribe_restores_notifications():
+    sim, channel, (a, b, c) = setup()
+    channel.carrier_unsubscribe(b)
+    channel.transmit(data_frame("n0", "n1"), 50.0)
+    sim.run()
+    channel.carrier_subscribe(b)
+    channel.transmit(data_frame("n0", "n1"), 50.0)  # starts at t=50
+    sim.run()
+    assert b.busy_events == [50.0]
+    assert b.idle_events == [100.0]
+
+
+def test_unsubscribe_is_idempotent():
+    sim, channel, (a, b, c) = setup()
+    channel.carrier_unsubscribe(b)
+    channel.carrier_unsubscribe(b)
+    channel.carrier_subscribe(b)
+    channel.carrier_subscribe(b)
+    channel.transmit(data_frame("n0", "n1"), 10.0)
+    sim.run()
+    assert b.busy_events == [0.0]
+
+
+def test_notification_order_is_attach_order_after_churn():
+    sim, channel, listeners = setup(4)
+    order = []
+    for listener in listeners:
+        listener.on_busy = (
+            lambda start, addr=listener.address: order.append(addr)
+        )
+    # Churn the subscription set: drop and re-add out of attach order.
+    for listener in (listeners[2], listeners[0], listeners[3]):
+        channel.carrier_unsubscribe(listener)
+    for listener in (listeners[3], listeners[0], listeners[2]):
+        channel.carrier_subscribe(listener)
+    channel.transmit(data_frame("n0", "n1"), 10.0)
+    sim.run()
+    assert order == ["n0", "n1", "n2", "n3"]
+
+
+def test_carrier_busy_and_idle_start_track_medium():
+    sim, channel, listeners = setup()
+    assert not channel.carrier_busy
+    assert channel.idle_start == 0.0
+    channel.transmit(data_frame("n0", "n1"), 100.0)
+    assert channel.carrier_busy
+    sim.run()
+    assert not channel.carrier_busy
+    assert channel.idle_start == 100.0
+
+
+def test_carrier_busy_holds_during_frame_end_broadcast():
+    # During the frame-end notifications of the transmission that
+    # empties the medium, carrier_busy must still read True (the idle
+    # notification has not gone out yet).
+    sim = Simulator(seed=1)
+    channel = Channel(sim)
+    seen = []
+
+    class Probe(RecordingListener):
+        def on_frame_end(self, frame, corrupted):
+            seen.append((channel.busy, channel.carrier_busy))
+
+    channel.attach(RecordingListener("n0"))
+    channel.attach(Probe("n1"))
+    channel.transmit(data_frame("n0", "n1"), 100.0)
+    sim.run()
+    assert seen == [(False, True)]
+
+
+# ----------------------------------------------------------------------
+# filtered frame-end delivery
+# ----------------------------------------------------------------------
+def test_filtered_listener_hears_own_unicast_only_when_involved():
+    sim, channel, (a, b, c) = setup()
+    channel.frame_end_filtered(c)
+    to_b = data_frame("n0", "n1")
+    channel.transmit(to_b, 100.0)
+    sim.run()
+    assert to_b not in [f for f, _ in c.frames]  # clean, not for c
+    to_c = data_frame("n0", "n2")
+    channel.transmit(to_c, 100.0)
+    sim.run()
+    assert (to_c, False) in c.frames  # destination always hears it
+
+
+def test_filtered_listener_hears_broadcast_and_collisions():
+    sim, channel, (a, b, c) = setup()
+    channel.frame_end_filtered(c)
+    bcast = data_frame("n0", BROADCAST)
+    channel.transmit(bcast, 100.0)
+    sim.run()
+    assert (bcast, False) in c.frames
+    f1 = data_frame("n0", "n1")
+    f2 = data_frame("n1", "n0")
+    channel.transmit(f1, 100.0)
+    channel.transmit(f2, 100.0)
+    sim.run()
+    corrupted_views = [f for f, corrupted in c.frames if corrupted]
+    assert f1 in corrupted_views and f2 in corrupted_views
+
+
+def test_eifs_mark_delivers_next_clean_frame_then_unmark_stops():
+    sim, channel, (a, b, c) = setup()
+    channel.frame_end_filtered(c)
+    channel.eifs_mark(c)
+    first = data_frame("n0", "n1")
+    channel.transmit(first, 100.0)
+    sim.run()
+    assert (first, False) in c.frames  # marked: hears the clean frame
+    channel.eifs_unmark(c)
+    second = data_frame("n0", "n1")
+    channel.transmit(second, 100.0)
+    sim.run()
+    assert second not in [f for f, _ in c.frames]
+
+
+def test_unfiltered_listeners_hear_everything():
+    sim, channel, (a, b, c) = setup()
+    channel.frame_end_filtered(c)
+    frame = data_frame("n1", "n2")
+    channel.transmit(frame, 100.0)
+    sim.run()
+    # a is neither src, dst nor filtered: still notified (observer).
+    assert (frame, False) in a.frames
+
+
+def test_attach_duplicate_listener_still_rejected():
+    sim, channel, listeners = setup(1)
+    with pytest.raises(ValueError):
+        channel.attach(listeners[0])

@@ -33,3 +33,19 @@ def test_fig5_duration_mapping(capsys):
     # fig5.run takes duration_s, exercised via the --seconds flag.
     assert main(["fig5", "--seconds", "7200"]) == 0
     assert "Figure 5" in capsys.readouterr().out
+
+
+def test_list_mentions_perf(capsys):
+    assert main(["list"]) == 0
+    assert "perf" in capsys.readouterr().out
+
+
+def test_perf_subcommand_dispatches(tmp_path, capsys):
+    target = tmp_path / "bench.json"
+    rc = main(
+        ["perf", "--stations", "4", "--schedulers", "fifo",
+         "--profiles", "same", "--seconds", "0.05", "--json", str(target)]
+    )
+    assert rc == 0
+    assert "events/sec" in capsys.readouterr().out
+    assert target.exists()

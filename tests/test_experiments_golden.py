@@ -1,0 +1,29 @@
+"""Determinism goldens: fig8/fig9 outputs must be byte-identical.
+
+The golden files were rendered by the pre-optimization kernel (the
+seed-state simulator, before the tuple-keyed heap, lazy-cancellation
+compaction, event reuse, PHY memoization and filtered channel
+notifications landed).  The hot-path work is required to be a pure
+optimization: same RNG streams, same event ordering, same schedules —
+so these short runs must reproduce the stored text exactly, byte for
+byte, on every future change to the hot path as well.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import fig8, fig9
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize(
+    "module, golden",
+    [(fig8, "fig8_seed1_1s.txt"), (fig9, "fig9_seed1_1s.txt")],
+    ids=["fig8", "fig9"],
+)
+def test_experiment_output_matches_pre_optimization_golden(module, golden):
+    rendered = module.render(module.run(seed=1, seconds=1.0)) + "\n"
+    expected = (GOLDEN_DIR / golden).read_text()
+    assert rendered == expected
