@@ -1,0 +1,55 @@
+"""Campaign subsystem: declarative sim jobs, parallel execution, caching.
+
+A *campaign* is a batch of independent simulation jobs drawn from any
+mix of experiment modules, executed across worker processes and merged
+deterministically by job key.  The building blocks:
+
+* :mod:`repro.campaign.job` — hashable, picklable job descriptors with
+  a content-addressed digest (config hash + schema salt);
+* :mod:`repro.campaign.cache` — on-disk result cache keyed by digest,
+  so re-running a campaign never recomputes a finished job;
+* :mod:`repro.campaign.executor` — serial and ``multiprocessing``
+  execution with cache lookups, duplicate-config coalescing and
+  completion-order-independent merging;
+* :mod:`repro.campaign.registry` — the experiment modules' ``jobs()`` /
+  ``reduce()`` pairs wired up for the ``python -m repro campaign`` CLI
+  (:mod:`repro.campaign.cli`).
+
+The registry and CLI import the experiment modules, so they are *not*
+re-exported here — ``repro.experiments.common`` depends on this package
+for :class:`Job` and importing them eagerly would be circular.
+"""
+
+from repro.campaign.job import (
+    CACHE_SCHEMA,
+    Job,
+    execute_job,
+    freeze,
+    job_params,
+    make_job,
+    resolve_executor,
+    thaw,
+)
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import (
+    CampaignOutcome,
+    CampaignStats,
+    run_jobs,
+    serial_results,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CampaignOutcome",
+    "CampaignStats",
+    "Job",
+    "ResultCache",
+    "execute_job",
+    "freeze",
+    "job_params",
+    "make_job",
+    "resolve_executor",
+    "run_jobs",
+    "serial_results",
+    "thaw",
+]

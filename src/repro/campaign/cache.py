@@ -1,0 +1,72 @@
+"""On-disk, content-addressed result cache.
+
+Each finished job's result is pickled under its digest (see
+:attr:`repro.campaign.job.Job.digest`), which already folds in the
+schema salt — invalidation is therefore automatic when the job encoding
+changes, and ``--force`` simply bypasses lookups while still refreshing
+entries.  Writes go through a temp file + :func:`os.replace` so a
+killed campaign never leaves a truncated entry behind; unreadable
+entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Iterator, Tuple
+
+
+class ResultCache:
+    """Digest-keyed pickle store under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        # Two-level fan-out keeps directory listings short even for
+        # campaigns with thousands of jobs.
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; corrupt or missing entries are misses."""
+        path = self.path_for(digest)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return False, None
+        try:
+            return True, pickle.loads(payload)
+        except Exception:
+            # Truncated/corrupt entry: drop it so the rerun refreshes it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, digest: str, value: Any) -> Path:
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+        return path
+
+    def digests(self) -> Iterator[str]:
+        yield from (p.stem for p in self.root.glob("??/*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

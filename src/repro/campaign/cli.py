@@ -1,0 +1,142 @@
+"""``python -m repro campaign`` — run experiments as a parallel campaign.
+
+Examples::
+
+    python -m repro campaign                      # all figures + tables
+    python -m repro campaign fig8 fig9 --jobs 4   # a subset, 4 workers
+    python -m repro campaign --jobs 1             # serial, in-process
+    python -m repro campaign --force              # ignore cached results
+    python -m repro campaign --list               # selectable names
+
+Results are cached on disk keyed by each job's config digest, so a
+re-run only simulates what changed; ``--force`` recomputes everything
+(and refreshes the cache).  Output is printed per experiment in the
+order requested, independent of which worker finished first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_jobs
+from repro.campaign.job import Job
+from repro.campaign.registry import FIGURE_SUITE, campaign_registry
+
+#: Default on-disk cache location (repo root when run from a checkout).
+DEFAULT_CACHE_DIR = ".repro-cache/campaign"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Fan independent simulation jobs from any mix of experiments "
+            "out across worker processes, with an on-disk result cache."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=(
+            "experiments to run (default: every figure and table; "
+            "see --list for all names including abl-* ablations)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes (default: one per CPU; 1 = serial, "
+            "in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk cache",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="ignore cached results (they are refreshed afterwards)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="simulated duration override per run (experiment default "
+        "if omitted)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list selectable experiments"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress"
+    )
+    args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.seconds is not None and args.seconds <= 0:
+        parser.error("--seconds must be positive")
+
+    registry = campaign_registry()
+    if args.list:
+        for name in registry:
+            print(f"  {name}")
+        return 0
+
+    selected = list(args.experiments) if args.experiments else list(FIGURE_SUITE)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        valid = ", ".join(registry)
+        print(
+            f"unknown experiment(s) {', '.join(unknown)}; valid: {valid}",
+            file=sys.stderr,
+        )
+        return 2
+
+    jobs: List[Job] = []
+    for name in selected:
+        jobs.extend(
+            registry[name].build_jobs(seed=args.seed, seconds=args.seconds)
+        )
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(event: str, job: Job, done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"  [{done}/{total}] {job.label} ({event})")
+
+    outcome = run_jobs(
+        jobs,
+        workers=args.jobs,
+        cache=cache,
+        force=args.force,
+        progress=progress,
+    )
+
+    for name in selected:
+        spec = registry[name]
+        result = spec.reduce(outcome.experiment_results(name))
+        print(spec.render(result))
+        print()
+    print(outcome.stats.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Serial and multi-process campaign execution.
+
+``run_jobs`` takes jobs from any mix of experiments and returns their
+results merged *by job key*, never by completion order, so a parallel
+campaign is byte-identical to a serial one.  Along the way it:
+
+* coalesces duplicate configs — jobs sharing a digest (e.g. fig3's and
+  fig9's 1-vs-11 FIFO uplink run) execute once and fan back out;
+* consults the :class:`~repro.campaign.cache.ResultCache` before
+  spending any CPU, unless ``force`` invalidates;
+* degrades gracefully to plain in-process execution when ``workers=1``
+  (no ``multiprocessing`` import, no pickling round-trip);
+* reports progress through an optional callback.
+
+Worker processes only ever receive :class:`Job` descriptors (frozen
+primitive trees) and return picklable result dataclasses; cache writes
+happen in the parent, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.job import Job, execute_job
+
+#: ``progress(event, job, done, total)`` with ``event`` one of
+#: ``"cached"`` / ``"executed"``; ``done``/``total`` count unique digests.
+ProgressFn = Callable[[str, Job, int, int], None]
+
+
+def serial_results(jobs: Iterable[Job]) -> Dict[Hashable, Any]:
+    """Execute ``jobs`` in order, in-process, keyed by ``job.key``.
+
+    This is the thin serial path the experiment modules' ``run()``
+    wrappers use: no cache, no coalescing, no pool — exactly one fresh
+    simulation per listed job, like the pre-campaign monolithic loops.
+    """
+    return {job.key: execute_job(job) for job in jobs}
+
+
+@dataclass
+class CampaignStats:
+    """Where each job's result came from, and what it cost."""
+
+    total: int = 0  #: jobs requested
+    unique: int = 0  #: distinct digests among them
+    executed: int = 0  #: digests actually simulated this run
+    cached: int = 0  #: digests served from the on-disk cache
+    coalesced: int = 0  #: jobs that shared another job's digest
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} jobs ({self.unique} unique): "
+            f"{self.executed} executed, {self.cached} cache hits, "
+            f"{self.coalesced} coalesced; "
+            f"{self.workers} worker(s), {self.wall_s:.2f}s wall"
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Results for every requested job plus execution statistics."""
+
+    results: Dict[Job, Any] = field(default_factory=dict)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def experiment_results(self, experiment: str) -> Dict[Hashable, Any]:
+        """``{job.key: result}`` for one experiment, in job order —
+        the mapping an experiment's ``reduce()`` consumes."""
+        return {
+            job.key: value
+            for job, value in self.results.items()
+            if job.experiment == experiment
+        }
+
+    def experiments(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for job in self.results:
+            seen.setdefault(job.experiment, None)
+        return list(seen)
+
+
+def _execute_entry(entry: Tuple[str, Job]) -> Tuple[str, Any]:
+    digest, job = entry
+    return digest, execute_job(job)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    *,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignOutcome:
+    """Execute a campaign and merge results deterministically.
+
+    ``workers=None`` means one worker per CPU.  ``force=True`` skips
+    cache lookups (entries are still refreshed with the new results).
+    Raises if two jobs share an ``(experiment, key)`` identity — the
+    reduce step could not tell their results apart.
+    """
+    job_list = list(jobs)
+    workers = resolve_workers(workers)
+    seen_ids: Dict[Tuple[str, Hashable], Job] = {}
+    for job in job_list:
+        ident = (job.experiment, job.key)
+        if ident in seen_ids and seen_ids[ident].digest != job.digest:
+            raise ValueError(
+                f"conflicting jobs for {job.label}: same experiment/key, "
+                "different configs"
+            )
+        seen_ids.setdefault(ident, job)
+
+    t0 = time.perf_counter()
+    by_digest: Dict[str, List[Job]] = {}
+    for job in job_list:
+        by_digest.setdefault(job.digest, []).append(job)
+
+    stats = CampaignStats(
+        total=len(job_list), unique=len(by_digest), workers=workers
+    )
+    stats.coalesced = stats.total - stats.unique
+
+    resolved: Dict[str, Any] = {}
+    done = 0
+    if cache is not None and not force:
+        for digest, group in by_digest.items():
+            hit, value = cache.get(digest)
+            if hit:
+                resolved[digest] = value
+                stats.cached += 1
+                done += 1
+                if progress is not None:
+                    progress("cached", group[0], done, stats.unique)
+
+    pending = [
+        (digest, group[0])
+        for digest, group in by_digest.items()
+        if digest not in resolved
+    ]
+
+    def finish(digest: str, value: Any) -> None:
+        nonlocal done
+        resolved[digest] = value
+        stats.executed += 1
+        done += 1
+        if cache is not None:
+            cache.put(digest, value)
+        if progress is not None:
+            progress("executed", by_digest[digest][0], done, stats.unique)
+
+    if pending and workers > 1:
+        import multiprocessing
+
+        # chunksize=1: jobs are coarse (whole simulations), so dynamic
+        # dispatch beats batching even at high job counts.  Never fork
+        # more workers than there are pending digests (a mostly-warm
+        # rerun may have a single stale job).
+        with multiprocessing.Pool(
+            processes=min(workers, len(pending))
+        ) as pool:
+            for digest, value in pool.imap_unordered(
+                _execute_entry, pending, chunksize=1
+            ):
+                finish(digest, value)
+    else:
+        for digest, job in pending:
+            finish(digest, execute_job(job))
+
+    stats.wall_s = time.perf_counter() - t0
+    results = {job: resolved[job.digest] for job in job_list}
+    return CampaignOutcome(results=results, stats=stats)

@@ -5,11 +5,14 @@ Usage::
     python -m repro list
     python -m repro fig9 [--seed 2] [--seconds 10]
     python -m repro all  [--seed 1]
+    python -m repro campaign [fig8 fig9 ...] [--jobs 8] [--force]
     python -m repro perf [--stations 4,16,64,128] [--schedulers fifo,drr,tbr]
 
 Each experiment prints the same paper-vs-measured rendering the
-benchmark harness stores under ``benchmarks/results/``.  ``perf`` runs
-the simulator scaling benchmark instead (see ``repro.perf``) and writes
+benchmark harness stores under ``benchmarks/results/``.  ``campaign``
+runs any mix of experiments across worker processes with an on-disk
+result cache (see ``repro.campaign``); ``perf`` runs the simulator
+scaling benchmark instead (see ``repro.perf``) and writes
 ``BENCH_perf.json``.
 """
 
@@ -45,6 +48,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.cli import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -55,7 +62,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'list', or 'perf'",
+        help=(
+            "experiment name (see 'list'), 'all', 'list', 'campaign', "
+            "or 'perf'"
+        ),
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -70,6 +80,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, module in REGISTRY.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8} {doc}")
+        print("  campaign Parallel cached experiment runner "
+              "(python -m repro campaign --help)")
         print("  perf     Simulator scaling benchmark -> BENCH_perf.json "
               "(python -m repro perf --help)")
         return 0

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.fairness import jain_index
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
 from repro.channel.loss import PerLinkLoss
 from repro.core.tbr import TbrConfig
-from repro.experiments.common import fmt_table, run_competing
+from repro.experiments.common import competing_job, fmt_table
 from repro.node.cell import Cell
 from repro.sim import us_from_s
 
@@ -49,27 +51,63 @@ class RetryAccountingResult:
         return blind / oracle - 1.0
 
 
+RETRY_EXECUTOR = "repro.experiments.ablations:execute_retry_accounting"
+
+
+def execute_retry_accounting(params: Dict) -> Dict[str, float]:
+    """Job executor: lossy 1-vs-11 uplink under TBR, one accounting mode."""
+    loss = PerLinkLoss({("n1", "ap"): params["loss_rate"]})
+    cell = Cell(
+        seed=params["seed"],
+        scheduler="tbr",
+        loss_model=loss,
+        oracle_retry_accounting=params["oracle"],
+    )
+    n1 = cell.add_station("n1", rate_mbps=1.0)
+    n2 = cell.add_station("n2", rate_mbps=11.0)
+    cell.tcp_flow(n1, direction="up")
+    cell.tcp_flow(n2, direction="up")
+    cell.run(seconds=params["seconds"], warmup_seconds=3.0)
+    return cell.station_throughputs_mbps()
+
+
+def jobs_retry_accounting(
+    seed: int = 1, seconds: float = 15.0, loss_rate: float = 0.08
+) -> List[Job]:
+    return [
+        make_job(
+            "abl-retry", label, RETRY_EXECUTOR,
+            {
+                "oracle": oracle,
+                "loss_rate": loss_rate,
+                "seed": seed,
+                "seconds": seconds,
+            },
+        )
+        for label, oracle in (("blind", False), ("oracle", True))
+    ]
+
+
+def reduce_retry_accounting(
+    results: Mapping[str, Dict[str, float]], loss_rate: float = 0.08
+) -> RetryAccountingResult:
+    return RetryAccountingResult(
+        loss_rate=loss_rate,
+        throughput={label: results[label] for label in ("blind", "oracle")},
+    )
+
+
 def run_retry_accounting(
     seed: int = 1, seconds: float = 15.0, loss_rate: float = 0.08
 ) -> RetryAccountingResult:
     """1 Mbps lossy uplink vs clean 11 Mbps uplink, TBR with and
     without retransmission information."""
-    result = RetryAccountingResult(loss_rate=loss_rate)
-    for label, oracle in (("blind", False), ("oracle", True)):
-        loss = PerLinkLoss({("n1", "ap"): loss_rate})
-        cell = Cell(
-            seed=seed,
-            scheduler="tbr",
-            loss_model=loss,
-            oracle_retry_accounting=oracle,
-        )
-        n1 = cell.add_station("n1", rate_mbps=1.0)
-        n2 = cell.add_station("n2", rate_mbps=11.0)
-        cell.tcp_flow(n1, direction="up")
-        cell.tcp_flow(n2, direction="up")
-        cell.run(seconds=seconds, warmup_seconds=3.0)
-        result.throughput[label] = cell.station_throughputs_mbps()
-    return result
+    return reduce_retry_accounting(
+        serial_results(
+            jobs_retry_accounting(seed=seed, seconds=seconds, loss_rate=loss_rate)
+        ),
+        loss_rate=loss_rate,
+    )
 
 
 def render_retry_accounting(result: RetryAccountingResult) -> str:
@@ -107,42 +145,83 @@ class BucketDepthResult:
     fairness: Dict[float, Tuple[float, float]] = field(default_factory=dict)
 
 
+BUCKET_DEPTH_EXECUTOR = "repro.experiments.ablations:execute_bucket_depth"
+
+DEFAULT_DEPTHS_US = (20_000.0, 100_000.0, 500_000.0, 2_000_000.0)
+
+
+def execute_bucket_depth(params: Dict) -> Tuple[float, float]:
+    """Job executor: one bucket depth's (long-term, short-window) Jain."""
+    depth = params["depth_us"]
+    window_s = params["window_s"]
+    seconds = params["seconds"]
+    config = TbrConfig(bucket_depth_us=depth, initial_tokens_us=depth / 5.0)
+    cell = Cell(seed=params["seed"], scheduler="tbr", tbr_config=config)
+    n1 = cell.add_station("n1", rate_mbps=1.0)
+    n2 = cell.add_station("n2", rate_mbps=11.0)
+    cell.tcp_flow(n1, direction="down")
+    cell.tcp_flow(n2, direction="down")
+    cell.run(seconds=2.0)  # warm-up
+    cell.reset_measurements()
+
+    window_jains: List[float] = []
+    usage = cell.usage
+    prev = {s: 0.0 for s in cell.stations}
+    steps = int(seconds / window_s)
+    for _ in range(steps):
+        cell.sim.run(until=cell.sim.now + us_from_s(window_s))
+        current = {s: usage.occupancy_us(s) for s in cell.stations}
+        deltas = [current[s] - prev[s] for s in cell.stations]
+        prev = current
+        if sum(deltas) > 0:
+            window_jains.append(jain_index(deltas))
+    long_term = jain_index([usage.occupancy_us(s) for s in cell.stations])
+    short_term = statistics.mean(window_jains) if window_jains else 0.0
+    return (long_term, short_term)
+
+
+def jobs_bucket_depth(
+    seed: int = 1,
+    seconds: float = 12.0,
+    depths_us: Tuple[float, ...] = DEFAULT_DEPTHS_US,
+    window_s: float = 0.5,
+) -> List[Job]:
+    return [
+        make_job(
+            "abl-bucket-depth", depth, BUCKET_DEPTH_EXECUTOR,
+            {
+                "depth_us": depth,
+                "window_s": window_s,
+                "seed": seed,
+                "seconds": seconds,
+            },
+        )
+        for depth in depths_us
+    ]
+
+
+def reduce_bucket_depth(
+    results: Mapping[float, Tuple[float, float]]
+) -> BucketDepthResult:
+    return BucketDepthResult(fairness=dict(results))
+
+
 def run_bucket_depth(
     seed: int = 1,
     seconds: float = 12.0,
-    depths_us: Tuple[float, ...] = (20_000.0, 100_000.0, 500_000.0, 2_000_000.0),
+    depths_us: Tuple[float, ...] = DEFAULT_DEPTHS_US,
     window_s: float = 0.5,
 ) -> BucketDepthResult:
     """Sweep bucket depth; measure occupancy fairness long-term and over
     short windows (deep buckets allow long one-station bursts)."""
-    result = BucketDepthResult()
-    for depth in depths_us:
-        config = TbrConfig(bucket_depth_us=depth, initial_tokens_us=depth / 5.0)
-        cell = Cell(seed=seed, scheduler="tbr", tbr_config=config)
-        n1 = cell.add_station("n1", rate_mbps=1.0)
-        n2 = cell.add_station("n2", rate_mbps=11.0)
-        cell.tcp_flow(n1, direction="down")
-        cell.tcp_flow(n2, direction="down")
-        cell.run(seconds=2.0)  # warm-up
-        cell.reset_measurements()
-
-        window_jains: List[float] = []
-        usage = cell.usage
-        prev = {s: 0.0 for s in cell.stations}
-        steps = int(seconds / window_s)
-        for _ in range(steps):
-            cell.sim.run(until=cell.sim.now + us_from_s(window_s))
-            current = {s: usage.occupancy_us(s) for s in cell.stations}
-            deltas = [current[s] - prev[s] for s in cell.stations]
-            prev = current
-            if sum(deltas) > 0:
-                window_jains.append(jain_index(deltas))
-        long_term = jain_index(
-            [usage.occupancy_us(s) for s in cell.stations]
+    return reduce_bucket_depth(
+        serial_results(
+            jobs_bucket_depth(
+                seed=seed, seconds=seconds, depths_us=depths_us,
+                window_s=window_s,
+            )
         )
-        short_term = statistics.mean(window_jains) if window_jains else 0.0
-        result.fairness[depth] = (long_term, short_term)
-    return result
+    )
 
 
 def render_bucket_depth(result: BucketDepthResult) -> str:
@@ -174,22 +253,52 @@ class WeightedSharesResult:
         )
 
 
-def run_weighted_shares(
-    seed: int = 1, seconds: float = 15.0, weights: Optional[Dict[str, float]] = None
-) -> WeightedSharesResult:
-    """Two same-rate stations with a 3:1 channel-time weighting."""
-    weights = weights if weights is not None else {"n1": 3.0, "n2": 1.0}
+WEIGHTED_EXECUTOR = "repro.experiments.ablations:execute_weighted_shares"
+
+
+def execute_weighted_shares(params: Dict) -> WeightedSharesResult:
+    """Job executor: weighted TBR shares on two same-rate stations."""
+    weights = params["weights"]
     config = TbrConfig(weights=weights, adjust_interval_us=0)
-    cell = Cell(seed=seed, scheduler="tbr", tbr_config=config)
+    cell = Cell(seed=params["seed"], scheduler="tbr", tbr_config=config)
     n1 = cell.add_station("n1", rate_mbps=11.0)
     n2 = cell.add_station("n2", rate_mbps=11.0)
     cell.tcp_flow(n1, direction="down")
     cell.tcp_flow(n2, direction="down")
-    cell.run(seconds=seconds, warmup_seconds=3.0)
+    cell.run(seconds=params["seconds"], warmup_seconds=3.0)
     return WeightedSharesResult(
         weights=weights,
         occupancy=cell.occupancy_fractions(),
         throughput=cell.station_throughputs_mbps(),
+    )
+
+
+def jobs_weighted_shares(
+    seed: int = 1, seconds: float = 15.0, weights: Optional[Dict[str, float]] = None
+) -> List[Job]:
+    weights = weights if weights is not None else {"n1": 3.0, "n2": 1.0}
+    return [
+        make_job(
+            "abl-weighted", "weighted", WEIGHTED_EXECUTOR,
+            {"weights": weights, "seed": seed, "seconds": seconds},
+        )
+    ]
+
+
+def reduce_weighted_shares(
+    results: Mapping[str, WeightedSharesResult]
+) -> WeightedSharesResult:
+    return results["weighted"]
+
+
+def run_weighted_shares(
+    seed: int = 1, seconds: float = 15.0, weights: Optional[Dict[str, float]] = None
+) -> WeightedSharesResult:
+    """Two same-rate stations with a 3:1 channel-time weighting."""
+    return reduce_weighted_shares(
+        serial_results(
+            jobs_weighted_shares(seed=seed, seconds=seconds, weights=weights)
+        )
     )
 
 
@@ -224,6 +333,27 @@ class WorkConservationResult:
     throughput: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
+def jobs_work_conservation(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        competing_job(
+            "abl-work-conservation", label,
+            [1.0, 11.0], direction="up", scheduler="tbr",
+            tbr_config=TbrConfig(work_conserving=wc),
+            seconds=seconds, seed=seed,
+        )
+        for label, wc in (("strict", False), ("borrowing", True))
+    ]
+
+
+def reduce_work_conservation(results: Mapping) -> WorkConservationResult:
+    return WorkConservationResult(
+        throughput={
+            label: results[label].throughput_mbps
+            for label in ("strict", "borrowing")
+        }
+    )
+
+
 def run_work_conservation(seed: int = 1, seconds: float = 15.0) -> WorkConservationResult:
     """Strict Figure 6 dequeue vs immediate borrowing, uplink 1vs11.
 
@@ -231,15 +361,9 @@ def run_work_conservation(seed: int = 1, seconds: float = 15.0) -> WorkConservat
     acks whenever no eligible queue is backlogged, which collapses TBR
     back to throughput fairness on uplink traffic.
     """
-    result = WorkConservationResult()
-    for label, wc in (("strict", False), ("borrowing", True)):
-        config = TbrConfig(work_conserving=wc)
-        res = run_competing(
-            [1.0, 11.0], direction="up", scheduler="tbr",
-            tbr_config=config, seconds=seconds, seed=seed,
-        )
-        result.throughput[label] = res.throughput_mbps
-    return result
+    return reduce_work_conservation(
+        serial_results(jobs_work_conservation(seed=seed, seconds=seconds))
+    )
 
 
 def render_work_conservation(result: WorkConservationResult) -> str:
@@ -263,13 +387,14 @@ class PollingTbrResult:
     charged_time_ratio: Dict[str, float] = field(default_factory=dict)
 
 
-def run_polling_tbr(seed: int = 1, seconds: float = 5.0) -> PollingTbrResult:
-    """Saturated uplink 1vs11 under a polling MAC, with the poll order
-    driven by plain round robin vs TBR token state.
+POLLING_EXECUTOR = "repro.experiments.ablations:execute_polling_tbr"
 
-    The paper: "if the underlying MAC protocol employs a polling
-    mechanism (such as 802.11's PCF), no explicit communication is
-    necessary since TBR can dictate which node gets polled."
+
+def execute_polling_tbr(params: Dict) -> Dict[str, object]:
+    """Job executor: saturated polled uplink under one poll policy.
+
+    Returns ``{"throughput": {...}, "charged_time_ratio": float|None}``
+    (the ratio only exists for the token-driven policy).
     """
     from repro.channel.medium import Channel
     from repro.mac.polling import (
@@ -289,43 +414,76 @@ def run_polling_tbr(seed: int = 1, seconds: float = 5.0) -> PollingTbrResult:
             self.mac_dst = "ap"
             self.station = None
 
+    label = params["policy"]
+    seed = params["seed"]
+    seconds = params["seconds"]
+    sim = Simulator(seed=seed)
+    channel = Channel(sim)
+    if label == "rr-poll":
+        scheduler = RoundRobinScheduler()
+        policy = RoundRobinPollPolicy()
+    else:
+        scheduler = TbrScheduler(sim)
+        policy = TokenPollPolicy(scheduler)
+    coordinator = PollingCoordinator(
+        sim, channel, scheduler, DOT11B_LONG_PREAMBLE, policy
+    )
+    rx: Dict[str, int] = {}
+    coordinator.rx_handler = lambda f, rx=rx: rx.__setitem__(
+        f.src, rx.get(f.src, 0) + f.size_bytes
+    )
+    for name, rate in (("n1", 1.0), ("n2", 11.0)):
+        station = PolledStation(
+            sim, channel, name, DOT11B_LONG_PREAMBLE,
+            rate_mbps=rate, queue_capacity=20_000,
+        )
+        policy.register(name)
+        scheduler.associate(name)
+        for _ in range(20_000):
+            station.enqueue(_Pkt())
+    sim.run(until=us_from_s(seconds))
+    throughput = {
+        name: rx.get(name, 0) * 8.0 / us_from_s(seconds)
+        for name in ("n1", "n2")
+    }
+    ratio = None
+    if label == "tbr-poll":
+        buckets = scheduler.buckets
+        ratio = buckets["n1"].spent_us / max(1.0, buckets["n2"].spent_us)
+    return {"throughput": throughput, "charged_time_ratio": ratio}
+
+
+def jobs_polling_tbr(seed: int = 1, seconds: float = 5.0) -> List[Job]:
+    return [
+        make_job(
+            "abl-polling", label, POLLING_EXECUTOR,
+            {"policy": label, "seed": seed, "seconds": seconds},
+        )
+        for label in ("rr-poll", "tbr-poll")
+    ]
+
+
+def reduce_polling_tbr(results: Mapping[str, Dict]) -> PollingTbrResult:
     result = PollingTbrResult()
     for label in ("rr-poll", "tbr-poll"):
-        sim = Simulator(seed=seed)
-        channel = Channel(sim)
-        if label == "rr-poll":
-            scheduler = RoundRobinScheduler()
-            policy = RoundRobinPollPolicy()
-        else:
-            scheduler = TbrScheduler(sim)
-            policy = TokenPollPolicy(scheduler)
-        coordinator = PollingCoordinator(
-            sim, channel, scheduler, DOT11B_LONG_PREAMBLE, policy
-        )
-        rx: Dict[str, int] = {}
-        coordinator.rx_handler = lambda f, rx=rx: rx.__setitem__(
-            f.src, rx.get(f.src, 0) + f.size_bytes
-        )
-        for name, rate in (("n1", 1.0), ("n2", 11.0)):
-            station = PolledStation(
-                sim, channel, name, DOT11B_LONG_PREAMBLE,
-                rate_mbps=rate, queue_capacity=20_000,
-            )
-            policy.register(name)
-            scheduler.associate(name)
-            for _ in range(20_000):
-                station.enqueue(_Pkt())
-        sim.run(until=us_from_s(seconds))
-        result.throughput[label] = {
-            name: rx.get(name, 0) * 8.0 / us_from_s(seconds)
-            for name in ("n1", "n2")
-        }
-        if label == "tbr-poll":
-            buckets = scheduler.buckets
-            result.charged_time_ratio[label] = (
-                buckets["n1"].spent_us / max(1.0, buckets["n2"].spent_us)
-            )
+        entry = results[label]
+        result.throughput[label] = entry["throughput"]
+        if entry["charged_time_ratio"] is not None:
+            result.charged_time_ratio[label] = entry["charged_time_ratio"]
     return result
+
+
+def run_polling_tbr(seed: int = 1, seconds: float = 5.0) -> PollingTbrResult:
+    """Saturated uplink 1vs11 under a polling MAC, with the poll order
+    driven by plain round robin vs TBR token state.
+
+    The paper: "if the underlying MAC protocol employs a polling
+    mechanism (such as 802.11's PCF), no explicit communication is
+    necessary since TBR can dictate which node gets polled."
+    """
+    return reduce_polling_tbr(
+        serial_results(jobs_polling_tbr(seed=seed, seconds=seconds))
+    )
 
 
 def render_polling_tbr(result: PollingTbrResult) -> str:
@@ -355,6 +513,62 @@ class OarComparisonResult:
     occupancy: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
+OAR_EXECUTOR = "repro.experiments.ablations:execute_oar_case"
+
+OAR_CASES = (
+    ("dcf", "fifo", 0.0),
+    ("oar", "fifo", 1.0),
+    ("tbr", "tbr", 0.0),
+)
+
+
+def execute_oar_case(params: Dict) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Job executor: one MAC/AP case of the OAR comparison."""
+    from repro.mac.dcf import MacConfig
+
+    scheduler = params["scheduler"]
+    config = TbrConfig(notify_clients=True) if scheduler == "tbr" else None
+    cell = Cell(seed=params["seed"], scheduler=scheduler, tbr_config=config)
+    mac_config = MacConfig(burst_base_rate_mbps=params["burst_base"])
+    cooperate = scheduler == "tbr"
+    n1 = cell.add_station(
+        "n1", rate_mbps=1.0, mac_config=mac_config,
+        cooperate_with_tbr=cooperate,
+    )
+    n2 = cell.add_station(
+        "n2", rate_mbps=11.0, mac_config=mac_config,
+        cooperate_with_tbr=cooperate,
+    )
+    cell.udp_flow(n1, direction="up", rate_mbps=2.0)
+    cell.udp_flow(n2, direction="up", rate_mbps=8.0)
+    cell.run(seconds=params["seconds"], warmup_seconds=3.0)
+    return cell.station_throughputs_mbps(), cell.occupancy_fractions()
+
+
+def jobs_oar_comparison(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        make_job(
+            "abl-oar", label, OAR_EXECUTOR,
+            {
+                "scheduler": scheduler,
+                "burst_base": burst_base,
+                "seed": seed,
+                "seconds": seconds,
+            },
+        )
+        for label, scheduler, burst_base in OAR_CASES
+    ]
+
+
+def reduce_oar_comparison(results: Mapping[str, Tuple]) -> OarComparisonResult:
+    result = OarComparisonResult()
+    for label, _, _ in OAR_CASES:
+        throughput, occupancy = results[label]
+        result.throughput[label] = throughput
+        result.occupancy[label] = occupancy
+    return result
+
+
 def run_oar_comparison(seed: int = 1, seconds: float = 15.0) -> OarComparisonResult:
     """DCF vs OAR vs TBR on uplink UDP, 1 Mbps vs 11 Mbps.
 
@@ -364,35 +578,9 @@ def run_oar_comparison(seed: int = 1, seconds: float = 15.0) -> OarComparisonRes
     changes the AP (the paper's deployment argument); OAR's aggregate
     is higher because bursting also amortizes contention overhead.
     """
-    from repro.mac.dcf import MacConfig
-
-    result = OarComparisonResult()
-    cases = (
-        ("dcf", "fifo", 0.0),
-        ("oar", "fifo", 1.0),
-        ("tbr", "tbr", 0.0),
+    return reduce_oar_comparison(
+        serial_results(jobs_oar_comparison(seed=seed, seconds=seconds))
     )
-    for label, scheduler, burst_base in cases:
-        config = (
-            TbrConfig(notify_clients=True) if scheduler == "tbr" else None
-        )
-        cell = Cell(seed=seed, scheduler=scheduler, tbr_config=config)
-        mac_config = MacConfig(burst_base_rate_mbps=burst_base)
-        cooperate = scheduler == "tbr"
-        n1 = cell.add_station(
-            "n1", rate_mbps=1.0, mac_config=mac_config,
-            cooperate_with_tbr=cooperate,
-        )
-        n2 = cell.add_station(
-            "n2", rate_mbps=11.0, mac_config=mac_config,
-            cooperate_with_tbr=cooperate,
-        )
-        cell.udp_flow(n1, direction="up", rate_mbps=2.0)
-        cell.udp_flow(n2, direction="up", rate_mbps=8.0)
-        cell.run(seconds=seconds, warmup_seconds=3.0)
-        result.throughput[label] = cell.station_throughputs_mbps()
-        result.occupancy[label] = cell.occupancy_fractions()
-    return result
 
 
 def render_oar_comparison(result: OarComparisonResult) -> str:
@@ -433,6 +621,45 @@ class ClientCooperationResult:
         return self.occupancy[label]["n1"]
 
 
+COOPERATION_EXECUTOR = "repro.experiments.ablations:execute_client_cooperation"
+
+
+def execute_client_cooperation(
+    params: Dict,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Job executor: uplink UDP under TBR, one cooperation mode."""
+    cooperate = params["cooperate"]
+    config = TbrConfig(notify_clients=cooperate, defer_hint_us=8_000.0)
+    cell = Cell(seed=params["seed"], scheduler="tbr", tbr_config=config)
+    n1 = cell.add_station("n1", rate_mbps=1.0, cooperate_with_tbr=cooperate)
+    n2 = cell.add_station("n2", rate_mbps=11.0, cooperate_with_tbr=cooperate)
+    cell.udp_flow(n1, direction="up", rate_mbps=2.0)
+    cell.udp_flow(n2, direction="up", rate_mbps=8.0)
+    cell.run(seconds=params["seconds"], warmup_seconds=3.0)
+    return cell.station_throughputs_mbps(), cell.occupancy_fractions()
+
+
+def jobs_client_cooperation(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        make_job(
+            "abl-cooperation", label, COOPERATION_EXECUTOR,
+            {"cooperate": cooperate, "seed": seed, "seconds": seconds},
+        )
+        for label, cooperate in (("no-agent", False), ("client-agent", True))
+    ]
+
+
+def reduce_client_cooperation(
+    results: Mapping[str, Tuple]
+) -> ClientCooperationResult:
+    result = ClientCooperationResult()
+    for label in ("no-agent", "client-agent"):
+        throughput, occupancy = results[label]
+        result.throughput[label] = throughput
+        result.occupancy[label] = occupancy
+    return result
+
+
 def run_client_cooperation(
     seed: int = 1, seconds: float = 15.0
 ) -> ClientCooperationResult:
@@ -443,22 +670,9 @@ def run_client_cooperation(
     slow station's occupancy stays near DCF's; with it, TBR's hints
     piggybacked on MAC ACKs bring both stations toward equal time.
     """
-    result = ClientCooperationResult()
-    for label, cooperate in (("no-agent", False), ("client-agent", True)):
-        config = TbrConfig(notify_clients=cooperate, defer_hint_us=8_000.0)
-        cell = Cell(seed=seed, scheduler="tbr", tbr_config=config)
-        n1 = cell.add_station(
-            "n1", rate_mbps=1.0, cooperate_with_tbr=cooperate
-        )
-        n2 = cell.add_station(
-            "n2", rate_mbps=11.0, cooperate_with_tbr=cooperate
-        )
-        cell.udp_flow(n1, direction="up", rate_mbps=2.0)
-        cell.udp_flow(n2, direction="up", rate_mbps=8.0)
-        cell.run(seconds=seconds, warmup_seconds=3.0)
-        result.throughput[label] = cell.station_throughputs_mbps()
-        result.occupancy[label] = cell.occupancy_fractions()
-    return result
+    return reduce_client_cooperation(
+        serial_results(jobs_client_cooperation(seed=seed, seconds=seconds))
+    )
 
 
 def render_client_cooperation(result: ClientCooperationResult) -> str:
@@ -496,6 +710,38 @@ class BgCoexistenceResult:
         return tbr / normal if normal > 0 else 0.0
 
 
+BG_EXECUTOR = "repro.experiments.ablations:execute_bg_coexistence"
+
+
+def execute_bg_coexistence(params: Dict) -> Dict[str, float]:
+    """Job executor: mixed b/g cell under one AP scheduler."""
+    cell = Cell(seed=params["seed"], scheduler=params["scheduler"])
+    g1 = cell.add_station("g1", rate_mbps=54.0)
+    b1 = cell.add_station("b1", rate_mbps=1.0)
+    cell.tcp_flow(g1, direction="down")
+    cell.tcp_flow(b1, direction="down")
+    cell.run(seconds=params["seconds"], warmup_seconds=3.0)
+    return cell.station_throughputs_mbps()
+
+
+def jobs_bg_coexistence(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        make_job(
+            "abl-bg", label, BG_EXECUTOR,
+            {"scheduler": sched, "seed": seed, "seconds": seconds},
+        )
+        for label, sched in (("normal", "fifo"), ("tbr", "tbr"))
+    ]
+
+
+def reduce_bg_coexistence(
+    results: Mapping[str, Dict[str, float]]
+) -> BgCoexistenceResult:
+    return BgCoexistenceResult(
+        throughput={label: results[label] for label in ("normal", "tbr")}
+    )
+
+
 def run_bg_coexistence(seed: int = 1, seconds: float = 15.0) -> BgCoexistenceResult:
     """A 54 Mbps (802.11g) client sharing a protection-mode cell with a
     1 Mbps 802.11b client, with and without TBR.
@@ -504,16 +750,9 @@ def run_bg_coexistence(seed: int = 1, seconds: float = 15.0) -> BgCoexistenceRes
     slots with the payload at the OFDM rate (CTS-to-self protection
     overhead folded into the long preamble).
     """
-    result = BgCoexistenceResult()
-    for label, sched in (("normal", "fifo"), ("tbr", "tbr")):
-        cell = Cell(seed=seed, scheduler=sched)
-        g1 = cell.add_station("g1", rate_mbps=54.0)
-        b1 = cell.add_station("b1", rate_mbps=1.0)
-        cell.tcp_flow(g1, direction="down")
-        cell.tcp_flow(b1, direction="down")
-        cell.run(seconds=seconds, warmup_seconds=3.0)
-        result.throughput[label] = cell.station_throughputs_mbps()
-    return result
+    return reduce_bg_coexistence(
+        serial_results(jobs_bg_coexistence(seed=seed, seconds=seconds))
+    )
 
 
 def render_bg_coexistence(result: BgCoexistenceResult) -> str:
@@ -535,3 +774,37 @@ def render_bg_coexistence(result: BgCoexistenceResult) -> str:
         f"{table}\n"
         f"g client keeps {result.g_recovery():.1f}x more throughput under TBR"
     )
+
+
+# ----------------------------------------------------------------------
+# campaign registry
+# ----------------------------------------------------------------------
+#: ``name -> (jobs, reduce, render)``; names match the ``experiment``
+#: field each ``jobs_*`` factory stamps on its jobs, so the campaign
+#: CLI can mix ablations with the figure/table experiments.
+CAMPAIGNS = {
+    "abl-retry": (
+        jobs_retry_accounting, reduce_retry_accounting, render_retry_accounting
+    ),
+    "abl-bucket-depth": (
+        jobs_bucket_depth, reduce_bucket_depth, render_bucket_depth
+    ),
+    "abl-weighted": (
+        jobs_weighted_shares, reduce_weighted_shares, render_weighted_shares
+    ),
+    "abl-work-conservation": (
+        jobs_work_conservation, reduce_work_conservation,
+        render_work_conservation,
+    ),
+    "abl-polling": (jobs_polling_tbr, reduce_polling_tbr, render_polling_tbr),
+    "abl-oar": (
+        jobs_oar_comparison, reduce_oar_comparison, render_oar_comparison
+    ),
+    "abl-cooperation": (
+        jobs_client_cooperation, reduce_client_cooperation,
+        render_client_cooperation,
+    ),
+    "abl-bg": (
+        jobs_bg_coexistence, reduce_bg_coexistence, render_bg_coexistence
+    ),
+}

@@ -2,11 +2,16 @@
 
 Every experiment module in this package exposes::
 
-    run(seed=..., seconds=...) -> <Result dataclass>
+    jobs(seed=..., seconds=...) -> List[Job]   # declarative sim configs
+    reduce(results) -> <Result dataclass>      # pure assembly by job key
+    run(seed=..., seconds=...) -> <Result dataclass>   # serial wrapper
     render(result) -> str          # ASCII table(s), paper-vs-measured
 
 and module-level ``PAPER_*`` constants holding the values the paper
 reports, so benchmarks can assert *shape* (who wins, by what factor).
+``run()`` is exactly ``reduce(serial_results(jobs(...)))``; the campaign
+executor (``repro.campaign``) runs the same jobs across worker
+processes and through the on-disk result cache instead.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.campaign.job import Job, make_job
 from repro.core.tbr import TbrConfig
 from repro.node.cell import Cell
 from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
@@ -50,7 +56,25 @@ def run_competing(
     phy: PhyParams = DOT11B_LONG_PREAMBLE,
 ) -> CompetingResult:
     """Run n stations with one bulk flow each and measure the paper's
-    quantities (per-station goodput and channel occupancy)."""
+    quantities (per-station goodput and channel occupancy).
+
+    The windows are additive: the cell first runs ``warmup_seconds``
+    (discarded), then measures for ``seconds`` — so a warm-up longer
+    than the measurement window is legitimate (the golden fig8/fig9
+    runs measure 1 s after a 3 s warm-up).  What *is* degenerate is a
+    non-positive measurement window: every throughput and occupancy
+    below divides by it.
+    """
+    if seconds <= 0:
+        raise ValueError(
+            f"seconds must be positive, got {seconds!r}: a zero-length "
+            "measurement window makes every throughput/occupancy figure "
+            "a division by zero"
+        )
+    if warmup_seconds < 0:
+        raise ValueError(
+            f"warmup_seconds must be >= 0, got {warmup_seconds!r}"
+        )
     if not isinstance(rates, dict):
         rates = {f"n{i + 1}": r for i, r in enumerate(rates)}
     cell = Cell(seed=seed, scheduler=scheduler, tbr_config=tbr_config, phy=phy)
@@ -72,6 +96,62 @@ def run_competing(
         seconds=seconds,
         seed=seed,
     )
+
+
+# ----------------------------------------------------------------------
+# campaign job plumbing
+# ----------------------------------------------------------------------
+#: Executor address for :func:`execute_competing` (what workers import).
+COMPETING_EXECUTOR = "repro.experiments.common:execute_competing"
+
+
+def competing_job(
+    experiment: str,
+    key,
+    rates: Union[Dict[str, float], Sequence[float]],
+    *,
+    direction: str = "up",
+    scheduler: str = "fifo",
+    transport: str = "tcp",
+    udp_rate_mbps: float = 4.0,
+    seconds: float = 15.0,
+    warmup_seconds: float = 3.0,
+    seed: int = 1,
+    tbr_config: Optional[TbrConfig] = None,
+    phy: PhyParams = DOT11B_LONG_PREAMBLE,
+) -> Job:
+    """Describe one :func:`run_competing` call as a campaign job.
+
+    ``rates`` is normalised to the station-name dict here so that e.g.
+    fig3's ``[1.0, 11.0]`` and fig9's ``(1.0, 11.0)`` freeze to the
+    same digest and coalesce into a single simulation.
+    """
+    if not isinstance(rates, dict):
+        rates = {f"n{i + 1}": r for i, r in enumerate(rates)}
+    return make_job(
+        experiment,
+        key,
+        COMPETING_EXECUTOR,
+        {
+            "rates": rates,
+            "direction": direction,
+            "scheduler": scheduler,
+            "transport": transport,
+            "udp_rate_mbps": udp_rate_mbps,
+            "seconds": seconds,
+            "warmup_seconds": warmup_seconds,
+            "seed": seed,
+            "tbr_config": tbr_config,
+            "phy": phy,
+        },
+    )
+
+
+def execute_competing(params: Dict[str, object]) -> CompetingResult:
+    """Job executor: run one competing-stations simulation."""
+    kwargs = dict(params)
+    rates = kwargs.pop("rates")
+    return run_competing(rates, **kwargs)
 
 
 # ----------------------------------------------------------------------

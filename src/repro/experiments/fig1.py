@@ -12,8 +12,10 @@ The paper's headline observations: WS-2 carries >30 % of bytes below
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping
 
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
 from repro.channel.loss import SnrLoss
 from repro.channel.propagation import LogDistancePathLoss, RadioEnvironment
 from repro.experiments.common import fmt_table
@@ -95,16 +97,57 @@ def run_exp1(seed: int = 1, seconds: float = 20.0) -> Dict[float, float]:
     return rate_fractions(downlink)
 
 
-def run(seed: int = 1, seconds: float = 20.0) -> Fig1Result:
-    result = Fig1Result()
-    for session in ("WS-1", "WS-2", "WS-3"):
-        config = WorkshopTraceConfig(
-            session=session, total_bytes=30_000_000, n_users=20
+SESSIONS = ("WS-1", "WS-2", "WS-3")
+
+WORKSHOP_EXECUTOR = "repro.experiments.fig1:execute_workshop"
+EXP1_EXECUTOR = "repro.experiments.fig1:execute_exp1"
+
+
+def execute_workshop(params: Dict) -> Dict[float, float]:
+    """Job executor: synthesize one workshop session's byte mix."""
+    config = WorkshopTraceConfig(
+        session=params["session"],
+        total_bytes=params["total_bytes"],
+        n_users=params["n_users"],
+    )
+    return rate_fractions(generate_workshop_trace(config, seed=params["seed"]))
+
+
+def execute_exp1(params: Dict) -> Dict[float, float]:
+    """Job executor: simulate EXP-1 and sniff its downlink byte mix."""
+    return run_exp1(params["seed"], params["seconds"])
+
+
+def jobs(seed: int = 1, seconds: float = 20.0) -> List[Job]:
+    out = [
+        make_job(
+            "fig1", session, WORKSHOP_EXECUTOR,
+            {
+                "session": session,
+                "total_bytes": 30_000_000,
+                "n_users": 20,
+                "seed": seed,
+            },
         )
-        records = generate_workshop_trace(config, seed=seed)
-        result.fractions[session] = rate_fractions(records)
-    result.fractions["EXP-1"] = run_exp1(seed, seconds)
+        for session in SESSIONS
+    ]
+    out.append(
+        make_job(
+            "fig1", "EXP-1", EXP1_EXECUTOR, {"seed": seed, "seconds": seconds}
+        )
+    )
+    return out
+
+
+def reduce(results: Mapping[str, Dict[float, float]]) -> Fig1Result:
+    result = Fig1Result()
+    for session in (*SESSIONS, "EXP-1"):
+        result.fractions[session] = results[session]
     return result
+
+
+def run(seed: int = 1, seconds: float = 20.0) -> Fig1Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig1Result) -> str:

@@ -11,14 +11,16 @@ ratio 6.4x.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Mapping
 
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
 from repro.experiments.common import (
     CompetingResult,
+    competing_job,
     fmt_frac,
     fmt_mbps,
     fmt_table,
-    run_competing,
 )
 
 PAPER_TOTAL_11V11 = 5.08
@@ -45,10 +47,25 @@ class Fig2Result:
         return (self.same_rate.total_mbps + PAPER_TOTAL_1V1) / 2.0
 
 
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        competing_job(
+            "fig2", "same", [11.0, 11.0], direction="up",
+            seconds=seconds, seed=seed,
+        ),
+        competing_job(
+            "fig2", "mixed", [1.0, 11.0], direction="up",
+            seconds=seconds, seed=seed,
+        ),
+    ]
+
+
+def reduce(results: Mapping[str, CompetingResult]) -> Fig2Result:
+    return Fig2Result(same_rate=results["same"], mixed=results["mixed"])
+
+
 def run(seed: int = 1, seconds: float = 15.0) -> Fig2Result:
-    same = run_competing([11.0, 11.0], direction="up", seconds=seconds, seed=seed)
-    mixed = run_competing([1.0, 11.0], direction="up", seconds=seconds, seed=seed)
-    return Fig2Result(same_rate=same, mixed=mixed)
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig2Result) -> str:

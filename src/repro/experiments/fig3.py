@@ -14,17 +14,21 @@ The paper's claims:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
 from repro.experiments.common import (
     CompetingResult,
+    competing_job,
     fmt_frac,
     fmt_mbps,
     fmt_table,
-    run_competing,
 )
 
 COMBOS: List[Tuple[float, float]] = [(11.0, 11.0), (1.0, 11.0), (1.0, 1.0)]
+
+NOTIONS = (("rf", "fifo"), ("tf", "tbr"))
 
 #: Paper Figure 3(a) approximate bar values (Mbps): per combo, per
 #: notion, (n1, n2).
@@ -42,20 +46,29 @@ class Fig3Result:
     )
 
 
-def run(seed: int = 1, seconds: float = 15.0) -> Fig3Result:
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        competing_job(
+            "fig3", (combo, notion),
+            list(combo), direction="up", scheduler=scheduler,
+            seconds=seconds, seed=seed,
+        )
+        for combo in COMBOS
+        for notion, scheduler in NOTIONS
+    ]
+
+
+def reduce(results: Mapping[Tuple, CompetingResult]) -> Fig3Result:
     result = Fig3Result()
     for combo in COMBOS:
         result.cases[combo] = {
-            "rf": run_competing(
-                list(combo), direction="up", scheduler="fifo",
-                seconds=seconds, seed=seed,
-            ),
-            "tf": run_competing(
-                list(combo), direction="up", scheduler="tbr",
-                seconds=seconds, seed=seed,
-            ),
+            notion: results[(combo, notion)] for notion, _ in NOTIONS
         }
     return result
+
+
+def run(seed: int = 1, seconds: float = 15.0) -> Fig3Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig3Result) -> str:

@@ -14,9 +14,16 @@ configurations (UDP/TCP x up/down).  The paper's observations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping
 
-from repro.experiments.common import CompetingResult, fmt_mbps, fmt_table, run_competing
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
+from repro.experiments.common import (
+    CompetingResult,
+    competing_job,
+    fmt_mbps,
+    fmt_table,
+)
 
 CONFIGS = ("udp_down", "udp_up", "tcp_down", "tcp_up")
 
@@ -34,23 +41,37 @@ class Fig4Result:
     runs: Dict[str, CompetingResult] = field(default_factory=dict)
 
 
-def run(seed: int = 1, seconds: float = 15.0) -> Fig4Result:
-    result = Fig4Result()
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    out = []
     for config in CONFIGS:
         transport, direction = config.split("_")
         # The paper attributes downlink equality to the AP "usually
         # transmitting to wireless clients in a round-robin manner".
         scheduler = "rr" if direction == "down" else "fifo"
-        result.runs[config] = run_competing(
-            [11.0, 11.0, 11.0],
-            direction=direction,
-            transport=transport,
-            udp_rate_mbps=4.0,
-            scheduler=scheduler,
-            seconds=seconds,
-            seed=seed,
+        out.append(
+            competing_job(
+                "fig4", config,
+                [11.0, 11.0, 11.0],
+                direction=direction,
+                transport=transport,
+                udp_rate_mbps=4.0,
+                scheduler=scheduler,
+                seconds=seconds,
+                seed=seed,
+            )
         )
+    return out
+
+
+def reduce(results: Mapping[str, CompetingResult]) -> Fig4Result:
+    result = Fig4Result()
+    for config in CONFIGS:
+        result.runs[config] = results[config]
     return result
+
+
+def run(seed: int = 1, seconds: float = 15.0) -> Fig4Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig4Result) -> str:

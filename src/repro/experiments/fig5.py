@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Mapping
 
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
 from repro.experiments.common import fmt_table
 from repro.traces.analyze import BusyInterval, busy_intervals
 from repro.traces.synthetic import DormTraceConfig, generate_dorm_trace
@@ -49,10 +51,31 @@ class Fig5Result:
         return multi / len(self.intervals)
 
 
+DORM_EXECUTOR = "repro.experiments.fig5:execute_dorm"
+
+
+def execute_dorm(params: Dict) -> List[BusyInterval]:
+    """Job executor: a day of dorm traffic reduced to busy intervals."""
+    config = DormTraceConfig(duration_s=params["duration_s"])
+    records = generate_dorm_trace(config, seed=params["seed"])
+    return busy_intervals(records, threshold_mbps=params["threshold_mbps"])
+
+
+def jobs(seed: int = 1, duration_s: float = 24.0 * 3600.0) -> List[Job]:
+    return [
+        make_job(
+            "fig5", "dorm", DORM_EXECUTOR,
+            {"duration_s": duration_s, "threshold_mbps": 4.0, "seed": seed},
+        )
+    ]
+
+
+def reduce(results: Mapping[str, List[BusyInterval]]) -> Fig5Result:
+    return Fig5Result(intervals=results["dorm"])
+
+
 def run(seed: int = 1, duration_s: float = 24.0 * 3600.0) -> Fig5Result:
-    config = DormTraceConfig(duration_s=duration_s)
-    records = generate_dorm_trace(config, seed=seed)
-    return Fig5Result(intervals=busy_intervals(records, threshold_mbps=4.0))
+    return reduce(serial_results(jobs(seed=seed, duration_s=duration_s)))
 
 
 def render(result: Fig5Result) -> str:

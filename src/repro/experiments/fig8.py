@@ -9,12 +9,15 @@ overhead."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Mapping, Tuple
 
-from repro.experiments.common import CompetingResult, fmt_table, run_competing
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
+from repro.experiments.common import CompetingResult, competing_job, fmt_table
 
 RATES = (1.0, 2.0, 5.5, 11.0)
 DIRECTIONS = ("down", "up")
+SCHEDULERS = (("normal", "fifo"), ("tbr", "tbr"))
 
 
 @dataclass
@@ -33,21 +36,33 @@ class Fig8Result:
         return pair["tbr"].total_mbps / normal - 1.0
 
 
-def run(seed: int = 1, seconds: float = 12.0) -> Fig8Result:
+def jobs(seed: int = 1, seconds: float = 12.0) -> List[Job]:
+    """One sim per (direction, rate, scheduler)."""
+    return [
+        competing_job(
+            "fig8", (direction, rate, label),
+            [rate, rate], direction=direction, scheduler=scheduler,
+            seconds=seconds, seed=seed,
+        )
+        for direction in DIRECTIONS
+        for rate in RATES
+        for label, scheduler in SCHEDULERS
+    ]
+
+
+def reduce(results: Mapping[Tuple, CompetingResult]) -> Fig8Result:
     result = Fig8Result()
     for direction in DIRECTIONS:
         for rate in RATES:
             result.runs[(direction, rate)] = {
-                "normal": run_competing(
-                    [rate, rate], direction=direction, scheduler="fifo",
-                    seconds=seconds, seed=seed,
-                ),
-                "tbr": run_competing(
-                    [rate, rate], direction=direction, scheduler="tbr",
-                    seconds=seconds, seed=seed,
-                ),
+                label: results[(direction, rate, label)]
+                for label, _ in SCHEDULERS
             }
     return result
+
+
+def run(seed: int = 1, seconds: float = 12.0) -> Fig8Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig8Result) -> str:

@@ -12,14 +12,17 @@ tracks Eq 12.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.analysis.baseline import PAPER_TABLE2_TCP_MBPS
 from repro.analysis.model import NodeSpec, rf_throughputs, tf_throughputs
-from repro.experiments.common import CompetingResult, fmt_table, run_competing
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
+from repro.experiments.common import CompetingResult, competing_job, fmt_table
 
 PAIRS = ((1.0, 11.0), (2.0, 11.0), (5.5, 11.0))
 DIRECTIONS = ("down", "up")
+SCHEDULERS = (("normal", "fifo"), ("tbr", "tbr"))
 
 #: Paper's approximate aggregate improvement of Exp-TBR over Exp-Normal.
 PAPER_IMPROVEMENT = {(1.0, 11.0): 1.03, (2.0, 11.0): 0.35, (5.5, 11.0): 0.06}
@@ -49,21 +52,33 @@ class Fig9Result:
         return entry["tbr"].total_mbps / normal - 1.0
 
 
-def run(seed: int = 1, seconds: float = 15.0) -> Fig9Result:
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    """One sim per (direction, rate pair, scheduler)."""
+    return [
+        competing_job(
+            "fig9", (direction, pair, label),
+            list(pair), direction=direction, scheduler=scheduler,
+            seconds=seconds, seed=seed,
+        )
+        for direction in DIRECTIONS
+        for pair in PAIRS
+        for label, scheduler in SCHEDULERS
+    ]
+
+
+def reduce(results: Mapping[Tuple, CompetingResult]) -> Fig9Result:
     result = Fig9Result()
     for direction in DIRECTIONS:
         for pair in PAIRS:
             result.runs[(direction, pair)] = {
-                "normal": run_competing(
-                    list(pair), direction=direction, scheduler="fifo",
-                    seconds=seconds, seed=seed,
-                ),
-                "tbr": run_competing(
-                    list(pair), direction=direction, scheduler="tbr",
-                    seconds=seconds, seed=seed,
-                ),
+                label: results[(direction, pair, label)]
+                for label, _ in SCHEDULERS
             }
     return result
+
+
+def run(seed: int = 1, seconds: float = 15.0) -> Fig9Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Fig9Result) -> str:

@@ -18,9 +18,11 @@ AggrThruput (fluid)   worse        better
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.analysis.efficiency import Task, task_model_metrics
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
 from repro.analysis.model import NodeSpec
 from repro.analysis.baseline import PAPER_TABLE2_TCP_MBPS
 from repro.experiments.common import fmt_table
@@ -101,16 +103,36 @@ def _run_tasks(scheduler: str, seed: int, max_seconds: float) -> NotionOutcome:
     return outcome
 
 
-def run(seed: int = 1, max_seconds: float = 120.0) -> Table1Result:
-    rf = _run_tasks("fifo", seed, max_seconds)
-    tf = _run_tasks("tbr", seed, max_seconds)
+TASKS_EXECUTOR = "repro.experiments.table1:execute_tasks"
+
+
+def execute_tasks(params: Dict) -> NotionOutcome:
+    """Job executor: the task-model run for one fairness notion."""
+    return _run_tasks(params["scheduler"], params["seed"], params["max_seconds"])
+
+
+def jobs(seed: int = 1, max_seconds: float = 120.0) -> List[Job]:
+    return [
+        make_job(
+            "table1", notion, TASKS_EXECUTOR,
+            {"scheduler": scheduler, "seed": seed, "max_seconds": max_seconds},
+        )
+        for notion, scheduler in (("rf", "fifo"), ("tf", "tbr"))
+    ]
+
+
+def reduce(results: Mapping[str, NotionOutcome]) -> Table1Result:
     nodes = [
         NodeSpec("slow", RATE_SLOW, beta_mbps=PAPER_TABLE2_TCP_MBPS[RATE_SLOW]),
         NodeSpec("fast", RATE_FAST, beta_mbps=PAPER_TABLE2_TCP_MBPS[RATE_FAST]),
     ]
     tasks = [Task(n, TASK_BYTES * 8.0) for n in nodes]
     analytic = task_model_metrics(tasks)
-    return Table1Result(rf=rf, tf=tf, analytic=analytic)
+    return Table1Result(rf=results["rf"], tf=results["tf"], analytic=analytic)
+
+
+def run(seed: int = 1, max_seconds: float = 120.0) -> Table1Result:
+    return reduce(serial_results(jobs(seed=seed, max_seconds=max_seconds)))
 
 
 def render(result: Table1Result) -> str:

@@ -9,10 +9,12 @@ the analytic timing model's prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping
 
 from repro.analysis.baseline import PAPER_TABLE2_TCP_MBPS, analytic_baseline_mbps
-from repro.experiments.common import fmt_table, run_competing
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
+from repro.experiments.common import CompetingResult, competing_job, fmt_table
 
 RATES = (1.0, 2.0, 5.5, 11.0)
 
@@ -27,13 +29,26 @@ class Table2Result:
         return dict(PAPER_TABLE2_TCP_MBPS)
 
 
-def run(seed: int = 1, seconds: float = 15.0) -> Table2Result:
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        competing_job(
+            "table2", rate, [rate, rate], direction="up",
+            seconds=seconds, seed=seed,
+        )
+        for rate in RATES
+    ]
+
+
+def reduce(results: Mapping[float, CompetingResult]) -> Table2Result:
     result = Table2Result()
     for rate in RATES:
-        res = run_competing([rate, rate], direction="up", seconds=seconds, seed=seed)
-        result.measured_mbps[rate] = res.total_mbps
+        result.measured_mbps[rate] = results[rate].total_mbps
         result.analytic_mbps[rate] = analytic_baseline_mbps(rate)
     return result
+
+
+def run(seed: int = 1, seconds: float = 15.0) -> Table2Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Table2Result) -> str:

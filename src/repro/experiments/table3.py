@@ -10,11 +10,13 @@ We reproduce both the analytic table and a live 4-station simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping
 
 from repro.analysis.baseline import PAPER_TABLE2_TCP_MBPS
 from repro.analysis.model import FairnessPrediction, NodeSpec, predict
-from repro.experiments.common import CompetingResult, fmt_table, run_competing
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job
+from repro.experiments.common import CompetingResult, competing_job, fmt_table
 
 NODE_RATES = {"n1": 1.0, "n2": 2.0, "n3": 11.0, "n4": 11.0}
 
@@ -31,19 +33,26 @@ class Table3Result:
     simulated_tf: CompetingResult
 
 
-def run(seed: int = 1, seconds: float = 20.0) -> Table3Result:
+def jobs(seed: int = 1, seconds: float = 20.0) -> List[Job]:
+    return [
+        competing_job(
+            "table3", notion, NODE_RATES, direction="up",
+            scheduler=scheduler, seconds=seconds, seed=seed,
+        )
+        for notion, scheduler in (("rf", "fifo"), ("tf", "tbr"))
+    ]
+
+
+def reduce(results: Mapping[str, CompetingResult]) -> Table3Result:
     nodes = [
         NodeSpec(name, rate, beta_mbps=PAPER_TABLE2_TCP_MBPS[rate])
         for name, rate in NODE_RATES.items()
     ]
-    prediction = predict(nodes)
-    simulated_rf = run_competing(
-        NODE_RATES, direction="up", scheduler="fifo", seconds=seconds, seed=seed
-    )
-    simulated_tf = run_competing(
-        NODE_RATES, direction="up", scheduler="tbr", seconds=seconds, seed=seed
-    )
-    return Table3Result(prediction, simulated_rf, simulated_tf)
+    return Table3Result(predict(nodes), results["rf"], results["tf"])
+
+
+def run(seed: int = 1, seconds: float = 20.0) -> Table3Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Table3Result) -> str:

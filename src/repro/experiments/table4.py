@@ -11,8 +11,10 @@ channel fully utilized instead of idling n1 at a hard 50 % cap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional
 
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
 from repro.core.tbr import TbrConfig
 from repro.node.cell import Cell
 from repro.experiments.common import fmt_table
@@ -45,13 +47,40 @@ def _run_one(
     return cell.station_throughputs_mbps()
 
 
-def run(seed: int = 1, seconds: float = 15.0) -> Table4Result:
-    return Table4Result(
-        throughput={
-            "normal": _run_one("fifo", seed, seconds, None),
-            "tbr": _run_one("tbr", seed, seconds, None),
-        }
+PAIR_EXECUTOR = "repro.experiments.table4:execute_run"
+
+
+def execute_run(params: Dict) -> Dict[str, float]:
+    """Job executor: one paced-vs-greedy pair under one scheduler."""
+    return _run_one(
+        params["scheduler"], params["seed"], params["seconds"],
+        params["tbr_config"],
     )
+
+
+def jobs(seed: int = 1, seconds: float = 15.0) -> List[Job]:
+    return [
+        make_job(
+            "table4", label, PAIR_EXECUTOR,
+            {
+                "scheduler": scheduler,
+                "seed": seed,
+                "seconds": seconds,
+                "tbr_config": None,
+            },
+        )
+        for label, scheduler in (("normal", "fifo"), ("tbr", "tbr"))
+    ]
+
+
+def reduce(results: Mapping[str, Dict[str, float]]) -> Table4Result:
+    return Table4Result(
+        throughput={label: results[label] for label in ("normal", "tbr")}
+    )
+
+
+def run(seed: int = 1, seconds: float = 15.0) -> Table4Result:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
 
 
 def render(result: Table4Result) -> str:

@@ -28,8 +28,22 @@ from repro.perf.report import (
     sample_row,
     write_report,
 )
+from repro.perf.campaign_bench import (
+    BENCH_SECONDS,
+    CampaignBenchSample,
+    build_suite_jobs,
+    campaign_row,
+    render_campaign,
+    run_campaign_bench,
+)
 
 __all__ = [
+    "BENCH_SECONDS",
+    "CampaignBenchSample",
+    "build_suite_jobs",
+    "campaign_row",
+    "render_campaign",
+    "run_campaign_bench",
     "DEFAULT_PATH",
     "DEFAULT_PROFILES",
     "DEFAULT_SCHEDULERS",

@@ -1,0 +1,182 @@
+"""Campaign benchmark: serial vs parallel vs warm-cache wall clock.
+
+The scaling matrix (``repro.perf.scaling``) measures the kernel; this
+module measures the *campaign* layer on the quantity an experiment
+author actually feels: wall-clock to reproduce the paper's full figure
+and table suite.  Three legs, each against a fresh temporary cache so
+the comparison is honest:
+
+1. **serial** — every job in-process, one after another (the
+   pre-campaign workflow);
+2. **parallel** — the same jobs through the multiprocessing executor;
+3. **warm** — the parallel campaign re-run against its own cache, which
+   must execute zero jobs.
+
+Simulated durations are scaled down per experiment (``BENCH_SECONDS``)
+so the suite stays affordable; serial-vs-parallel *ratios*, not
+absolute walls, are the tracked quantity.  Results land in
+``BENCH_perf.json`` under the ``campaign`` key via
+``python -m repro perf --campaign``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import CampaignOutcome, run_jobs
+from repro.campaign.job import Job
+from repro.campaign.registry import FIGURE_SUITE, campaign_registry
+
+#: Per-experiment simulated durations for the benchmark suite (seconds
+#: in each experiment's own duration unit — fig5 simulates hours of
+#: trace, table1 runs to task completion under this cap).
+BENCH_SECONDS: Dict[str, float] = {
+    "fig1": 6.0,
+    "fig2": 2.0,
+    "fig3": 2.0,
+    "fig4": 2.0,
+    "fig5": 6.0 * 3600.0,
+    "fig8": 1.0,
+    "fig9": 1.0,
+    "table1": 45.0,
+    "table2": 2.0,
+    "table3": 2.0,
+    "table4": 2.0,
+}
+
+
+def default_workers() -> int:
+    """Parallel-leg worker count: one per CPU, but at least 2 so the
+    multiprocessing path is exercised even on single-core hosts."""
+    return max(2, os.cpu_count() or 1)
+
+
+@dataclass
+class CampaignBenchSample:
+    """Measured walls for the three legs of the campaign benchmark."""
+
+    experiments: List[str]
+    jobs: int
+    unique_jobs: int
+    workers: int
+    seed: int
+    serial_wall_s: float
+    parallel_wall_s: float
+    warm_wall_s: float
+    warm_executed: int  #: must be 0 — every warm job is a cache hit
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial wall over parallel wall (>= 1 on multi-core hosts)."""
+        if self.parallel_wall_s <= 0:
+            return 0.0
+        return self.serial_wall_s / self.parallel_wall_s
+
+    @property
+    def warm_fraction(self) -> float:
+        """Warm-cache wall as a fraction of the cold parallel wall."""
+        if self.parallel_wall_s <= 0:
+            return 0.0
+        return self.warm_wall_s / self.parallel_wall_s
+
+
+def build_suite_jobs(
+    experiments: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 1,
+    seconds: Optional[Dict[str, float]] = None,
+) -> List[Job]:
+    """The benchmark's job list: every selected experiment at its
+    scaled-down duration."""
+    registry = campaign_registry()
+    names = list(experiments) if experiments else list(FIGURE_SUITE)
+    durations = dict(BENCH_SECONDS)
+    if seconds:
+        durations.update(seconds)
+    jobs: List[Job] = []
+    for name in names:
+        jobs.extend(
+            registry[name].build_jobs(seed=seed, seconds=durations.get(name))
+        )
+    return jobs
+
+
+def run_campaign_bench(
+    experiments: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = None,
+    seed: int = 1,
+    seconds: Optional[Dict[str, float]] = None,
+    progress: Optional[Callable[[str, float], None]] = None,
+) -> CampaignBenchSample:
+    """Time the three legs; ``progress(leg, wall_s)`` after each."""
+    workers = default_workers() if workers is None else workers
+    names = list(experiments) if experiments else list(FIGURE_SUITE)
+    jobs = build_suite_jobs(names, seed=seed, seconds=seconds)
+
+    def timed(leg_workers: int, cache: ResultCache) -> Tuple[float, CampaignOutcome]:
+        t0 = time.perf_counter()
+        outcome = run_jobs(jobs, workers=leg_workers, cache=cache)
+        return time.perf_counter() - t0, outcome
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-bench-") as tmp:
+        serial_wall, serial_outcome = timed(1, ResultCache(f"{tmp}/serial"))
+        if progress is not None:
+            progress("serial", serial_wall)
+        parallel_cache = ResultCache(f"{tmp}/parallel")
+        parallel_wall, _ = timed(workers, parallel_cache)
+        if progress is not None:
+            progress("parallel", parallel_wall)
+        warm_wall, warm_outcome = timed(workers, parallel_cache)
+        if progress is not None:
+            progress("warm", warm_wall)
+
+    return CampaignBenchSample(
+        experiments=names,
+        jobs=len(jobs),
+        unique_jobs=serial_outcome.stats.unique,
+        workers=workers,
+        seed=seed,
+        serial_wall_s=serial_wall,
+        parallel_wall_s=parallel_wall,
+        warm_wall_s=warm_wall,
+        warm_executed=warm_outcome.stats.executed,
+    )
+
+
+def campaign_row(sample: CampaignBenchSample) -> Dict:
+    """Flatten the sample for ``BENCH_perf.json``'s ``campaign`` key."""
+    return {
+        "experiments": list(sample.experiments),
+        "jobs": sample.jobs,
+        "unique_jobs": sample.unique_jobs,
+        "workers": sample.workers,
+        "seed": sample.seed,
+        "serial_wall_s": round(sample.serial_wall_s, 3),
+        "parallel_wall_s": round(sample.parallel_wall_s, 3),
+        "warm_wall_s": round(sample.warm_wall_s, 3),
+        "parallel_speedup": round(sample.parallel_speedup, 3),
+        "warm_fraction": round(sample.warm_fraction, 4),
+        "warm_executed": sample.warm_executed,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def render_campaign(sample: CampaignBenchSample) -> str:
+    """Human-readable summary for the CLI."""
+    return (
+        "Campaign benchmark "
+        f"({len(sample.experiments)} experiments, {sample.jobs} jobs, "
+        f"{sample.unique_jobs} unique):\n"
+        f"  serial    {sample.serial_wall_s:8.2f}s  (1 worker)\n"
+        f"  parallel  {sample.parallel_wall_s:8.2f}s  "
+        f"({sample.workers} workers, {sample.parallel_speedup:.2f}x)\n"
+        f"  warm      {sample.warm_wall_s:8.2f}s  "
+        f"({sample.warm_fraction * 100:.1f}% of cold, "
+        f"{sample.warm_executed} executed)"
+    )

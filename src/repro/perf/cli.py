@@ -5,12 +5,15 @@ Examples::
     python -m repro perf                         # full matrix -> BENCH_perf.json
     python -m repro perf --stations 4,16         # subset of the matrix
     python -m repro perf --schedulers tbr --profiles multi --seconds 2
-    python -m repro perf --no-json               # print the table only
+    python -m repro perf --no-write              # print the table only
+    python -m repro perf --output /tmp/b.json    # don't clobber BENCH_perf.json
+    python -m repro perf --campaign              # + serial-vs-parallel campaign
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import List, Optional
 
 from repro.perf.report import DEFAULT_PATH, HEADLINE_KEY, render_table, write_report
@@ -59,22 +62,67 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
-        "--json",
-        default=DEFAULT_PATH,
+        "--output",
+        default=None,
         metavar="PATH",
-        help=f"where to write the JSON report (default: {DEFAULT_PATH})",
+        help=(
+            "where to write the JSON report instead of silently "
+            f"clobbering {DEFAULT_PATH}"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="legacy alias for --output",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the table without writing the JSON report",
     )
     parser.add_argument(
         "--no-json",
         action="store_true",
-        help="print the table without writing the JSON report",
+        help="legacy alias for --no-write",
     )
     parser.add_argument(
         "--note",
         default="",
         help="free-form note recorded in the JSON report",
     )
+    parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help=(
+            "also run the campaign benchmark (full figure/table suite, "
+            "serial vs parallel vs warm cache) and record it in the report"
+        ),
+    )
+    parser.add_argument(
+        "--campaign-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workers for the campaign benchmark's parallel leg "
+        "(default: one per CPU, minimum 2)",
+    )
     args = parser.parse_args(argv)
+
+    if args.output is not None and args.json is not None:
+        parser.error("--output and --json name the same path; pass one")
+    output = args.output if args.output is not None else args.json
+    if output is None:
+        output = DEFAULT_PATH
+    no_write = args.no_write or args.no_json
+    if not no_write:
+        parent = Path(output).resolve().parent
+        if not parent.is_dir():
+            parser.error(
+                f"--output parent directory does not exist: {parent}"
+            )
+    if args.campaign_jobs is not None and args.campaign_jobs < 1:
+        parser.error("--campaign-jobs must be >= 1")
 
     try:
         station_counts = [int(n) for n in _csv(args.stations)]
@@ -134,8 +182,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"\nheadline {HEADLINE_KEY}: "
             f"{headline.events_per_sec:,.0f} events/sec"
         )
-    if not args.no_json:
-        path = write_report(samples, args.json, note=args.note)
+
+    campaign = None
+    if args.campaign:
+        from repro.perf.campaign_bench import (
+            campaign_row,
+            render_campaign,
+            run_campaign_bench,
+        )
+
+        print("\nRunning campaign benchmark (serial / parallel / warm) ...")
+        bench = run_campaign_bench(
+            workers=args.campaign_jobs,
+            seed=args.seed,
+            progress=lambda leg, wall: print(f"  {leg:<8} {wall:8.2f}s"),
+        )
+        print(render_campaign(bench))
+        campaign = campaign_row(bench)
+
+    if not no_write:
+        path = write_report(samples, output, note=args.note, campaign=campaign)
         print(f"wrote {path}")
     return 0
 

@@ -48,7 +48,12 @@ def sample_row(sample: PerfSample) -> Dict:
     }
 
 
-def build_report(samples: Iterable[PerfSample], *, note: str = "") -> Dict:
+def build_report(
+    samples: Iterable[PerfSample],
+    *,
+    note: str = "",
+    campaign: Optional[Dict] = None,
+) -> Dict:
     rows = [sample_row(s) for s in samples]
     by_key = {row["key"]: row for row in rows}
     headline = by_key.get(HEADLINE_KEY)
@@ -59,6 +64,9 @@ def build_report(samples: Iterable[PerfSample], *, note: str = "") -> Dict:
         "python": platform.python_version(),
         "note": note,
         "headline": headline,
+        #: serial-vs-parallel full-suite walls from the campaign
+        #: benchmark (``repro.perf.campaign_bench``), when run.
+        "campaign": campaign,
         "results": rows,
     }
 
@@ -68,10 +76,11 @@ def write_report(
     path: Optional[str] = None,
     *,
     note: str = "",
+    campaign: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_perf.json``; returns the path written."""
     target = Path(path if path is not None else DEFAULT_PATH)
-    report = build_report(samples, note=note)
+    report = build_report(samples, note=note, campaign=campaign)
     target.write_text(json.dumps(report, indent=2) + "\n")
     return target
 

@@ -14,7 +14,7 @@ they are properties of the PHY in the standard.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.phy.rates import basic_rates_b, basic_rates_g
@@ -59,6 +59,18 @@ class PhyParams:
         object.__setattr__(
             self, "_difs_us", self.sifs_us + 2.0 * self.slot_us
         )
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Pickle only the declared fields: the airtime/EIFS memo tables
+        # are per-process derived state, and shipping them into campaign
+        # workers would both bloat the job payload and share one
+        # instance's cache dict across forked jobs.
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()  # rebuild empty memo tables
 
     @property
     def difs_us(self) -> float:

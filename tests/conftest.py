@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.channel import Channel
 from repro.mac import DcfMac, FifoTxScheduler
 from repro.phy import DOT11B_LONG_PREAMBLE
 from repro.sim import Simulator, us_from_s
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-size multi-process campaign tests; skipped unless "
+        "REPRO_RUN_SLOW=1 is set (tier-1 covers the same paths with "
+        "small-N smoke configurations)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_RUN_SLOW", "").lower() not in ("", "0", "false", "no"):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow campaign test; set REPRO_RUN_SLOW=1 to run"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 class SimplePacket:

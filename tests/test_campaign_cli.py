@@ -1,0 +1,69 @@
+"""Tests for ``python -m repro campaign`` (and its cli.py routing)."""
+
+import pytest
+
+from repro.campaign.cli import main as campaign_main
+from repro.cli import main as repro_main
+
+
+def test_list_names_figures_tables_and_ablations(capsys):
+    assert campaign_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "fig9", "table4", "abl-retry", "abl-bg"):
+        assert name in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert campaign_main(["nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_flag_validation():
+    with pytest.raises(SystemExit):
+        campaign_main(["fig2", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        campaign_main(["fig2", "--seconds", "0"])
+
+
+def test_small_campaign_runs_and_caches(tmp_path, capsys):
+    args = [
+        "fig2", "--jobs", "1", "--seconds", "0.5",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert campaign_main(args) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "2 executed" in out
+    # Re-run: same rendering, now entirely from the cache.
+    assert campaign_main(args) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "0 executed, 2 cache hits" in out
+    # --force recomputes despite the warm cache.
+    assert campaign_main(args + ["--force"]) == 0
+    assert "2 executed, 0 cache hits" in capsys.readouterr().out
+
+
+def test_no_cache_leaves_no_directory(tmp_path, capsys):
+    cache_dir = tmp_path / "never-created"
+    rc = campaign_main(
+        ["fig2", "--jobs", "1", "--seconds", "0.5", "--quiet",
+         "--cache-dir", str(cache_dir), "--no-cache"]
+    )
+    assert rc == 0
+    assert not cache_dir.exists()
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_repro_cli_routes_campaign(tmp_path, capsys):
+    rc = repro_main(
+        ["campaign", "fig2", "--jobs", "1", "--seconds", "0.5", "--quiet",
+         "--cache-dir", str(tmp_path / "cache")]
+    )
+    assert rc == 0
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_repro_cli_list_mentions_campaign(capsys):
+    assert repro_main(["list"]) == 0
+    assert "campaign" in capsys.readouterr().out

@@ -58,6 +58,26 @@ def test_run_competing_rejects_bad_transport():
         run_competing([11.0], transport="sctp", seconds=0.1)
 
 
+def test_run_competing_rejects_degenerate_measurement_window():
+    # A non-positive measurement window would make every throughput and
+    # occupancy figure a division by zero.
+    with pytest.raises(ValueError, match="measurement window"):
+        run_competing([11.0], seconds=0.0)
+    with pytest.raises(ValueError, match="measurement window"):
+        run_competing([11.0], seconds=-1.0, warmup_seconds=3.0)
+    with pytest.raises(ValueError, match="warmup_seconds"):
+        run_competing([11.0], seconds=1.0, warmup_seconds=-0.5)
+
+
+def test_run_competing_allows_warmup_longer_than_measurement():
+    # The windows are additive (warm up, then measure), so a warm-up
+    # exceeding the measurement window is valid — the golden fig8/fig9
+    # runs measure 1 s after a 3 s warm-up.
+    res = run_competing([11.0], seconds=0.5, warmup_seconds=1.0)
+    assert res.seconds == 0.5
+    assert res.total_mbps > 0
+
+
 def test_competing_result_total():
     res = run_competing([11.0, 11.0], seconds=0.5, warmup_seconds=0.0)
     assert res.total_mbps == pytest.approx(sum(res.throughput_mbps.values()))

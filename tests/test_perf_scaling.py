@@ -149,3 +149,72 @@ def test_perf_cli_no_json(tmp_path, monkeypatch, capsys):
     assert rc == 0
     assert not (tmp_path / "BENCH_perf.json").exists()
     assert "Simulator scaling" in capsys.readouterr().out
+
+
+def test_perf_cli_output_flag(tmp_path, capsys):
+    target = tmp_path / "custom.json"
+    rc = perf_cli_main(
+        ["--stations", "4", "--schedulers", "fifo", "--profiles", "same",
+         "--seconds", "0.05", "--output", str(target)]
+    )
+    assert rc == 0
+    assert target.exists()
+    report = json.loads(target.read_text())
+    assert [row["key"] for row in report["results"]] == ["fifo/same/n4"]
+    assert report["campaign"] is None  # no --campaign requested
+
+
+def test_perf_cli_no_write_flag(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = perf_cli_main(
+        ["--stations", "4", "--schedulers", "fifo", "--profiles", "same",
+         "--seconds", "0.05", "--no-write"]
+    )
+    assert rc == 0
+    assert not (tmp_path / "BENCH_perf.json").exists()
+
+
+def test_perf_cli_rejects_missing_output_parent(tmp_path):
+    with pytest.raises(SystemExit):
+        perf_cli_main(
+            ["--stations", "4", "--schedulers", "fifo", "--profiles", "same",
+             "--seconds", "0.05",
+             "--output", str(tmp_path / "missing" / "b.json")]
+        )
+
+
+def test_perf_cli_rejects_output_and_json_together(tmp_path):
+    with pytest.raises(SystemExit):
+        perf_cli_main(
+            ["--output", str(tmp_path / "a.json"),
+             "--json", str(tmp_path / "b.json")]
+        )
+
+
+def test_report_round_trips_campaign_section(tmp_path):
+    sample = run_scenario(
+        PerfScenario(stations=4, scheduler="fifo", profile="same", seconds=0.05)
+    )
+    campaign = {"jobs": 7, "serial_wall_s": 1.0, "parallel_wall_s": 0.5}
+    target = write_report([sample], tmp_path / "b.json", campaign=campaign)
+    assert load_report(target)["campaign"] == campaign
+
+
+def test_campaign_bench_smoke(tmp_path):
+    # Two cheap experiments, tiny durations: all three legs run, the
+    # warm leg executes nothing, and the row is JSON-serializable.
+    from repro.perf.campaign_bench import campaign_row, run_campaign_bench
+
+    sample = run_campaign_bench(
+        ["fig2", "table4"],
+        workers=2,
+        seconds={"fig2": 0.3, "table4": 0.3},
+    )
+    assert sample.jobs == 4
+    assert sample.warm_executed == 0
+    assert sample.serial_wall_s > 0 and sample.parallel_wall_s > 0
+    assert sample.warm_wall_s < sample.parallel_wall_s
+    row = campaign_row(sample)
+    assert json.dumps(row)  # plain JSON types only
+    assert row["workers"] == 2
+    assert row["experiments"] == ["fig2", "table4"]
