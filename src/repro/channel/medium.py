@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Protocol, Tuple, TYPE_CHECKING
 
-from repro.sim import Simulator, EventPriority
+from repro.sim import EventCategory, Simulator, EventPriority
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mac.frames import Frame
@@ -266,7 +266,8 @@ class Channel:
         # Frame-end events are fire-and-forget (never cancelled), so the
         # kernel may recycle the event objects.
         self.sim.schedule_transient(
-            duration, self._end, tx, priority=EventPriority.PHY
+            duration, self._end, tx,
+            priority=EventPriority.PHY, category=EventCategory.PHY,
         )
         return tx
 

@@ -42,7 +42,7 @@ from repro.phy.phy import (
     ack_rate_for,
     frame_airtime_us,
 )
-from repro.sim import EventPriority, Simulator
+from repro.sim import EventCategory, EventPriority, Simulator
 
 #: Tolerance when comparing event timestamps to busy-start timestamps.
 _SLOT_EPS = 1e-6
@@ -316,7 +316,7 @@ class DcfMac:
         self._bo_spare = None
         self._bo_event = self.sim.reschedule_at(
             spare, expiry, self._countdown_expired,
-            priority=EventPriority.TX_START,
+            priority=EventPriority.TX_START, category=EventCategory.MAC,
         )
 
     def _cancel_countdown(self) -> None:
@@ -381,7 +381,8 @@ class DcfMac:
         self.channel.transmit(frame, duration)
         if frame.is_broadcast:
             self.sim.schedule(
-                duration, self._broadcast_done, priority=EventPriority.PHY
+                duration, self._broadcast_done, priority=EventPriority.PHY,
+                category=EventCategory.MAC,
             )
             return
         self._awaiting_ack_for = frame
@@ -393,7 +394,8 @@ class DcfMac:
         spare = self._ack_timeout_spare
         self._ack_timeout_spare = None
         self._ack_timeout_event = self.sim.reschedule(
-            spare, timeout, self._ack_timeout, priority=EventPriority.HIGH
+            spare, timeout, self._ack_timeout, priority=EventPriority.HIGH,
+            category=EventCategory.MAC,
         )
 
     def _broadcast_done(self) -> None:
@@ -475,6 +477,13 @@ class DcfMac:
                 listener(report)
         finally:
             self._completing = False
+        if packet is not None:
+            # Last touchpoint of the packet's life: recycle pooled ones.
+            # (getattr: schedulers are duck-typed and tests feed them
+            # minimal packet stand-ins without a freelist.)
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
         if continue_burst and self._current is None:
             if self._load_burst_continuation():
                 return
@@ -510,6 +519,7 @@ class DcfMac:
             self.phy.sifs_us,
             self._transmit_burst_frame,
             priority=EventPriority.TX_START,
+            category=EventCategory.MAC,
         )
         return True
 
@@ -570,7 +580,7 @@ class DcfMac:
         self._ack_tx_spare = None
         self._ack_tx_event = self.sim.reschedule(
             spare, self.phy.sifs_us, self._send_ack, ack,
-            priority=EventPriority.TX_START,
+            priority=EventPriority.TX_START, category=EventCategory.MAC,
         )
 
     def _send_ack(self, ack: Frame) -> None:

@@ -37,7 +37,7 @@ from repro.phy.phy import (
     frame_airtime_us,
 )
 from repro.queueing.base import ApScheduler
-from repro.sim import EventPriority, Simulator
+from repro.sim import EventCategory, EventPriority, Simulator
 
 #: CF-POLL frame size (MAC header + FCS, no payload).
 POLL_BYTES = 20
@@ -157,7 +157,8 @@ class PolledStation:
         if frame.ftype is FrameType.POLL:
             self.polls_received += 1
             self.sim.schedule(
-                self.phy.sifs_us, self._respond, priority=EventPriority.TX_START
+                self.phy.sifs_us, self._respond,
+                priority=EventPriority.TX_START, category=EventCategory.MAC,
             )
         elif frame.is_data:
             self._ack_data(frame)
@@ -208,6 +209,7 @@ class PolledStation:
                 ack, ack_airtime_us(self.phy, ack.rate_mbps)
             ),
             priority=EventPriority.TX_START,
+            category=EventCategory.MAC,
         )
 
 
@@ -275,7 +277,8 @@ class PollingCoordinator:
         if self._cycle_event is not None:
             self._cycle_event.cancel()
         self._cycle_event = self.sim.schedule(
-            delay, self._cycle, priority=EventPriority.TX_START
+            delay, self._cycle,
+            priority=EventPriority.TX_START, category=EventCategory.MAC,
         )
 
     def _cycle(self) -> None:
@@ -340,7 +343,8 @@ class PollingCoordinator:
         if self._timeout_event is not None:
             self._timeout_event.cancel()
         self._timeout_event = self.sim.schedule(
-            delay, self._on_timeout, priority=EventPriority.HIGH
+            delay, self._on_timeout,
+            priority=EventPriority.HIGH, category=EventCategory.MAC,
         )
 
     def _on_timeout(self) -> None:
@@ -432,7 +436,7 @@ class PollingCoordinator:
 
         self.sim.schedule(
             self.phy.sifs_us, transmit_and_resume,
-            priority=EventPriority.TX_START,
+            priority=EventPriority.TX_START, category=EventCategory.MAC,
         )
 
     def _complete_downlink(

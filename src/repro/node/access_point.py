@@ -24,8 +24,12 @@ from repro.node.rate_control import FixedRate, RateController
 from repro.phy.phy import PhyParams, ack_airtime_us, ack_rate_for, frame_airtime_us
 from repro.queueing.base import ApScheduler
 from repro.sim import Simulator
-from repro.transport.packet import Packet
+from repro.transport.packet import Packet, PacketPool
 from repro.transport.wired import WiredLink
+
+
+def _deliver_packet(packet: Packet) -> None:
+    packet.deliver()
 
 
 class AccessPoint:
@@ -72,10 +76,14 @@ class AccessPoint:
         # Wired backbone pipes (one each way, generously provisioned).
         self.uplink_wire = WiredLink(sim, wired_delay_us, wired_rate_mbps)
         self.downlink_wire = WiredLink(sim, wired_delay_us, wired_rate_mbps)
+        #: freelist for demand-driven downlink packets (drop-before-
+        #: alloc sources recycle consumed packets through it).
+        self.packet_pool = PacketPool()
         # Prebound hot-path callables (one bound-method build per packet
         # adds up in saturated cells).
         self._downlink_send = self.downlink_wire.send
         self._enqueue_downlink_cb = self._enqueue_downlink
+        self._deliver_packet_cb = _deliver_packet
 
         #: observers of downlink exchange completions (callable(report)).
         self.exchange_observers: List[Callable] = []
@@ -122,7 +130,7 @@ class AccessPoint:
         for observer in self.uplink_observers:
             observer(packet.station, est, frame)
         # Bridge to the wired side.
-        self.uplink_wire.send(packet, lambda p: p.deliver())
+        self.uplink_wire.send(packet, self._deliver_packet_cb)
 
     def estimate_exchange_airtime(
         self, payload_bytes: int, rate_mbps: float, *, attempts: int = 1
@@ -148,6 +156,26 @@ class AccessPoint:
         packet.mac_dst = packet.station
         self.downlink_packets += 1
         self.scheduler.enqueue(packet)
+
+    def downlink_arrival(
+        self, station: str, materialize: Callable[[], Packet]
+    ) -> bool:
+        """Demand-path APPTXEVENT with drop-before-alloc.
+
+        The two-event path materializes a packet at the source and drops
+        it at the full queue; this one asks the scheduler first and only
+        calls ``materialize()`` for admitted arrivals, so a saturated
+        cell's tail drops never touch the allocator.  Counters move
+        exactly as in :meth:`_enqueue_downlink` + drop-tail ``push``.
+        """
+        self.downlink_packets += 1
+        scheduler = self.scheduler
+        if not scheduler.admits(station):
+            scheduler.drop_arrival(station)
+            return False
+        packet = materialize()
+        packet.mac_dst = station
+        return scheduler.enqueue(packet)
 
     def _on_attempt(self, dst: str, success: bool) -> None:
         # One attempt at a time so rate control reacts before the retry.

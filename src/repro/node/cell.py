@@ -310,32 +310,39 @@ class Cell:
         sink = UdpSink(stats)
 
         sta_addr = station.address
-        if direction == "down":
-            via = host.send
-            to_station = True
-        else:
-            via = station.send
-            to_station = False
 
         def on_rx(p) -> None:
             sink.on_datagram(p.payload, p.size_bytes)
 
-        sim = self.sim
-
-        def tx(size_bytes: int, datagram) -> None:
-            pkt = Packet(
-                size_bytes,
+        sender: object
+        if direction == "down":
+            # Demand-driven engine: the wire's pump charges one kernel
+            # event per offered packet, and tail drops at the AP queue
+            # never materialize a packet at all.
+            sender = host.udp_stream(
                 sta_addr,
-                to_station=to_station,
-                payload=datagram,
+                rate_mbps,
+                payload_bytes,
                 on_receive=on_rx,
-                created_us=sim.now,
+                name=f"{name}-snd",
             )
-            via(pkt)
+        else:
+            sim = self.sim
 
-        sender = UdpSender(
-            self.sim, f"{name}-snd", tx, rate_mbps, payload_bytes
-        )
+            def tx(size_bytes: int, datagram) -> None:
+                pkt = Packet(
+                    size_bytes,
+                    sta_addr,
+                    to_station=False,
+                    payload=datagram,
+                    on_receive=on_rx,
+                    created_us=sim.now,
+                )
+                station.send(pkt)
+
+            sender = UdpSender(
+                self.sim, f"{name}-snd", tx, rate_mbps, payload_bytes
+            )
         handle = FlowHandle(name, station, direction, "udp", stats, sender, sink)
         self.flows.append(handle)
         return handle

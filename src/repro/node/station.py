@@ -9,7 +9,7 @@ from repro.mac.dcf import DcfMac, MacConfig
 from repro.mac.fifo import FifoTxScheduler
 from repro.node.rate_control import FixedRate, RateController
 from repro.phy.phy import PhyParams
-from repro.sim import Simulator
+from repro.sim import EventCategory, Simulator
 from repro.transport.packet import Packet
 
 
@@ -107,7 +107,9 @@ class Station:
     def _on_defer_hint(self, defer_us: float) -> None:
         self._defer_until = max(self._defer_until, self.sim.now + defer_us)
         if defer_us > 0:
-            self.sim.schedule(defer_us, self.queue.wake)
+            self.sim.schedule(
+                defer_us, self.queue.wake, category=EventCategory.TIMER
+            )
 
     def _may_transmit(self) -> bool:
         return self.sim.now >= self._defer_until

@@ -11,6 +11,7 @@ from repro.perf.scaling import (
     DEFAULT_SCHEDULERS,
     DEFAULT_SECONDS,
     DEFAULT_STATION_COUNTS,
+    EVENT_CATEGORIES,
     MULTI_RATES,
     PerfSample,
     PerfScenario,
@@ -24,6 +25,7 @@ from repro.perf.report import (
     HEADLINE_KEY,
     build_report,
     load_report,
+    render_events_table,
     render_table,
     sample_row,
     write_report,
@@ -49,6 +51,7 @@ __all__ = [
     "DEFAULT_SCHEDULERS",
     "DEFAULT_SECONDS",
     "DEFAULT_STATION_COUNTS",
+    "EVENT_CATEGORIES",
     "HEADLINE_KEY",
     "MULTI_RATES",
     "PerfSample",
@@ -57,6 +60,7 @@ __all__ = [
     "build_report",
     "load_report",
     "matrix",
+    "render_events_table",
     "render_table",
     "run_matrix",
     "run_scenario",

@@ -51,14 +51,26 @@ BENCH_SECONDS: Dict[str, float] = {
 
 
 def default_workers() -> int:
-    """Parallel-leg worker count: one per CPU, but at least 2 so the
-    multiprocessing path is exercised even on single-core hosts."""
-    return max(2, os.cpu_count() or 1)
+    """Parallel-leg worker count: one per CPU.
+
+    On a single-core host this is 1, and :func:`run_campaign_bench`
+    *skips* the parallel leg rather than timing two workers fighting
+    over one core — that used to produce a headline "speedup" below 1
+    (e.g. 0.809) that said nothing about the campaign layer.
+    """
+    return os.cpu_count() or 1
 
 
 @dataclass
 class CampaignBenchSample:
-    """Measured walls for the three legs of the campaign benchmark."""
+    """Measured walls for the legs of the campaign benchmark.
+
+    ``parallel_wall_s`` is ``None`` when the parallel leg was skipped
+    (``degraded_reason`` says why — currently only single-core hosts,
+    where serial-vs-parallel walls measure multiprocessing overhead,
+    not campaign speedup).  The warm leg always runs: cache hits are
+    meaningful regardless of core count.
+    """
 
     experiments: List[str]
     jobs: int
@@ -66,23 +78,34 @@ class CampaignBenchSample:
     workers: int
     seed: int
     serial_wall_s: float
-    parallel_wall_s: float
+    parallel_wall_s: Optional[float]
     warm_wall_s: float
     warm_executed: int  #: must be 0 — every warm job is a cache hit
+    degraded_reason: Optional[str] = None
 
     @property
-    def parallel_speedup(self) -> float:
-        """Serial wall over parallel wall (>= 1 on multi-core hosts)."""
+    def parallel_speedup(self) -> Optional[float]:
+        """Serial wall over parallel wall (>= 1 on multi-core hosts);
+        ``None`` when the parallel leg was skipped."""
+        if self.parallel_wall_s is None:
+            return None
         if self.parallel_wall_s <= 0:
             return 0.0
         return self.serial_wall_s / self.parallel_wall_s
 
     @property
     def warm_fraction(self) -> float:
-        """Warm-cache wall as a fraction of the cold parallel wall."""
-        if self.parallel_wall_s <= 0:
+        """Warm-cache wall as a fraction of the cold run it re-hits
+        (the parallel leg, or the serial leg when parallel was
+        skipped)."""
+        cold = (
+            self.parallel_wall_s
+            if self.parallel_wall_s is not None
+            else self.serial_wall_s
+        )
+        if cold <= 0:
             return 0.0
-        return self.warm_wall_s / self.parallel_wall_s
+        return self.warm_wall_s / cold
 
 
 def build_suite_jobs(
@@ -114,10 +137,24 @@ def run_campaign_bench(
     seconds: Optional[Dict[str, float]] = None,
     progress: Optional[Callable[[str, float], None]] = None,
 ) -> CampaignBenchSample:
-    """Time the three legs; ``progress(leg, wall_s)`` after each."""
+    """Time the legs; ``progress(leg, wall_s)`` after each.
+
+    With one usable worker (``workers`` resolving to <= 1) the parallel
+    leg is skipped and annotated instead of timed: on a single core the
+    "parallel" wall is the serial wall plus process-pool overhead, and
+    the resulting sub-1 "speedup" headline is noise.  The warm leg then
+    re-runs against the serial cache (still a pure cache-hit check).
+    """
     workers = default_workers() if workers is None else workers
     names = list(experiments) if experiments else list(FIGURE_SUITE)
     jobs = build_suite_jobs(names, seed=seed, seconds=seconds)
+    degraded_reason = None
+    if workers <= 1:
+        degraded_reason = (
+            f"parallel leg skipped: only {workers} worker available "
+            f"(cpu_count={os.cpu_count()}); a parallel wall on this "
+            "host would measure multiprocessing overhead, not speedup"
+        )
 
     def timed(leg_workers: int, cache: ResultCache) -> Tuple[float, CampaignOutcome]:
         t0 = time.perf_counter()
@@ -125,14 +162,19 @@ def run_campaign_bench(
         return time.perf_counter() - t0, outcome
 
     with tempfile.TemporaryDirectory(prefix="repro-campaign-bench-") as tmp:
-        serial_wall, serial_outcome = timed(1, ResultCache(f"{tmp}/serial"))
+        serial_cache = ResultCache(f"{tmp}/serial")
+        serial_wall, serial_outcome = timed(1, serial_cache)
         if progress is not None:
             progress("serial", serial_wall)
-        parallel_cache = ResultCache(f"{tmp}/parallel")
-        parallel_wall, _ = timed(workers, parallel_cache)
-        if progress is not None:
-            progress("parallel", parallel_wall)
-        warm_wall, warm_outcome = timed(workers, parallel_cache)
+        if degraded_reason is None:
+            warm_cache = ResultCache(f"{tmp}/parallel")
+            parallel_wall, _ = timed(workers, warm_cache)
+            if progress is not None:
+                progress("parallel", parallel_wall)
+        else:
+            parallel_wall = None
+            warm_cache = serial_cache
+        warm_wall, warm_outcome = timed(max(1, workers), warm_cache)
         if progress is not None:
             progress("warm", warm_wall)
 
@@ -146,11 +188,18 @@ def run_campaign_bench(
         parallel_wall_s=parallel_wall,
         warm_wall_s=warm_wall,
         warm_executed=warm_outcome.stats.executed,
+        degraded_reason=degraded_reason,
     )
 
 
 def campaign_row(sample: CampaignBenchSample) -> Dict:
-    """Flatten the sample for ``BENCH_perf.json``'s ``campaign`` key."""
+    """Flatten the sample for ``BENCH_perf.json``'s ``campaign`` key.
+
+    A skipped parallel leg serializes as ``parallel_wall_s: null`` /
+    ``parallel_speedup: null`` with ``degraded_reason`` recording why,
+    so a dashboard never mistakes a single-core artifact for a
+    regression.
+    """
     return {
         "experiments": list(sample.experiments),
         "jobs": sample.jobs,
@@ -158,25 +207,40 @@ def campaign_row(sample: CampaignBenchSample) -> Dict:
         "workers": sample.workers,
         "seed": sample.seed,
         "serial_wall_s": round(sample.serial_wall_s, 3),
-        "parallel_wall_s": round(sample.parallel_wall_s, 3),
+        "parallel_wall_s": (
+            None
+            if sample.parallel_wall_s is None
+            else round(sample.parallel_wall_s, 3)
+        ),
         "warm_wall_s": round(sample.warm_wall_s, 3),
-        "parallel_speedup": round(sample.parallel_speedup, 3),
+        "parallel_speedup": (
+            None
+            if sample.parallel_speedup is None
+            else round(sample.parallel_speedup, 3)
+        ),
         "warm_fraction": round(sample.warm_fraction, 4),
         "warm_executed": sample.warm_executed,
+        "degraded_reason": sample.degraded_reason,
         "cpu_count": os.cpu_count(),
     }
 
 
 def render_campaign(sample: CampaignBenchSample) -> str:
     """Human-readable summary for the CLI."""
+    if sample.parallel_wall_s is None:
+        parallel_line = f"  parallel      skipped ({sample.degraded_reason})\n"
+    else:
+        parallel_line = (
+            f"  parallel  {sample.parallel_wall_s:8.2f}s  "
+            f"({sample.workers} workers, {sample.parallel_speedup:.2f}x)\n"
+        )
     return (
         "Campaign benchmark "
         f"({len(sample.experiments)} experiments, {sample.jobs} jobs, "
         f"{sample.unique_jobs} unique):\n"
         f"  serial    {sample.serial_wall_s:8.2f}s  (1 worker)\n"
-        f"  parallel  {sample.parallel_wall_s:8.2f}s  "
-        f"({sample.workers} workers, {sample.parallel_speedup:.2f}x)\n"
-        f"  warm      {sample.warm_wall_s:8.2f}s  "
+        + parallel_line
+        + f"  warm      {sample.warm_wall_s:8.2f}s  "
         f"({sample.warm_fraction * 100:.1f}% of cold, "
         f"{sample.warm_executed} executed)"
     )

@@ -6,6 +6,7 @@ Examples::
     python -m repro perf --stations 4,16         # subset of the matrix
     python -m repro perf --schedulers tbr --profiles multi --seconds 2
     python -m repro perf --no-write              # print the table only
+    python -m repro perf --events                # + per-category breakdown
     python -m repro perf --output /tmp/b.json    # don't clobber BENCH_perf.json
     python -m repro perf --campaign              # + serial-vs-parallel campaign
 """
@@ -16,7 +17,13 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from repro.perf.report import DEFAULT_PATH, HEADLINE_KEY, render_table, write_report
+from repro.perf.report import (
+    DEFAULT_PATH,
+    HEADLINE_KEY,
+    render_events_table,
+    render_table,
+    write_report,
+)
 from repro.perf.scaling import (
     DEFAULT_PROFILES,
     DEFAULT_SCHEDULERS,
@@ -92,6 +99,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="free-form note recorded in the JSON report",
     )
     parser.add_argument(
+        "--events",
+        action="store_true",
+        help=(
+            "also print the per-category kernel event breakdown "
+            "(traffic / mac / phy / timer / other) for each scenario"
+        ),
+    )
+    parser.add_argument(
         "--campaign",
         action="store_true",
         help=(
@@ -105,7 +120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="N",
         help="workers for the campaign benchmark's parallel leg "
-        "(default: one per CPU, minimum 2)",
+        "(default: one per CPU; on a single-core host the parallel "
+        "leg is skipped and annotated in the JSON)",
     )
     args = parser.parse_args(argv)
 
@@ -173,6 +189,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     samples = run_matrix(scenarios, progress=progress)
     print()
     print(render_table(samples))
+    if args.events:
+        print()
+        print(render_events_table(samples))
 
     headline = next(
         (s for s in samples if s.scenario.key == HEADLINE_KEY), None

@@ -45,6 +45,9 @@ def sample_row(sample: PerfSample) -> Dict:
         "events_per_sim_s": round(sample.events_per_sim_s, 1),
         "wall_s_per_sim_s": round(sample.wall_s_per_sim_s, 6),
         "total_mbps": round(sample.total_mbps, 4),
+        #: where the events went (traffic/mac/phy/timer/other); lets a
+        #: PR prove *which* layer its event-count delta came from.
+        "events_by_category": dict(sample.events_by_category),
     }
 
 
@@ -88,6 +91,28 @@ def write_report(
 def load_report(path: Optional[str] = None) -> Dict:
     target = Path(path if path is not None else DEFAULT_PATH)
     return json.loads(target.read_text())
+
+
+def render_events_table(samples: Iterable[PerfSample]) -> str:
+    """Per-category event breakdown table (``repro perf --events``)."""
+    from repro.perf.scaling import EVENT_CATEGORIES
+
+    headers = ("scenario", "events") + EVENT_CATEGORIES
+    rows: List[List[str]] = []
+    for s in samples:
+        cats = s.events_by_category
+        rows.append(
+            [s.scenario.key, str(s.events)]
+            + [str(cats.get(key, 0)) for key in EVENT_CATEGORIES]
+        )
+    cells = [list(headers)] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = ["Kernel events by category"]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
 
 
 def render_table(samples: Iterable[PerfSample]) -> str:

@@ -31,6 +31,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.node.cell import Cell
 
+#: Category keys reported per scenario (repro.sim.EventCategory names).
+EVENT_CATEGORIES = ("traffic", "mac", "phy", "timer", "other")
+
 #: Rate ladder used by the ``multi`` profile (the paper's 802.11b set).
 MULTI_RATES = (1.0, 2.0, 5.5, 11.0)
 
@@ -100,6 +103,9 @@ class PerfSample:
     sim_s: float
     total_mbps: float
     pending_at_end: int = 0
+    #: executed events per category (traffic/mac/phy/timer/other) —
+    #: where the events went, not just how many (see EventCategory).
+    events_by_category: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -129,9 +135,11 @@ def run_scenario(scenario: PerfScenario) -> PerfSample:
     cell = build_cell(scenario)
     sim = cell.sim
     start_events = sim.events_executed
+    start_cats = dict(sim.events_by_category())
     t0 = time.perf_counter()
     cell.run(seconds=scenario.seconds)
     wall = time.perf_counter() - t0
+    end_cats = sim.events_by_category()
     return PerfSample(
         scenario=scenario,
         events=sim.events_executed - start_events,
@@ -139,6 +147,10 @@ def run_scenario(scenario: PerfScenario) -> PerfSample:
         sim_s=scenario.seconds,
         total_mbps=cell.total_throughput_mbps(),
         pending_at_end=sim.pending_count(),
+        events_by_category={
+            key: end_cats[key] - start_cats.get(key, 0)
+            for key in EVENT_CATEGORIES
+        },
     )
 
 

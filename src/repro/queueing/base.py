@@ -28,6 +28,19 @@ class StationQueue:
         self.enqueued_bytes += packet.size_bytes
         return True
 
+    def has_room(self) -> bool:
+        """True if :meth:`push` would accept a packet right now."""
+        return len(self.queue) < self.capacity
+
+    def count_drop(self) -> None:
+        """Record a drop-tail loss without materializing the packet.
+
+        The demand-driven traffic engine checks :meth:`has_room` before
+        allocating; this keeps the ``dropped`` counter identical to the
+        push-then-drop path it replaces.
+        """
+        self.dropped += 1
+
     def pop(self) -> Any:
         return self.queue.popleft()
 
@@ -113,6 +126,30 @@ class ApScheduler:
         if ok and self.mac is not None:
             self.mac.notify_pending()
         return ok
+
+    # ------------------------------------------------------------------
+    # drop-before-alloc admission (demand-driven traffic engine)
+    # ------------------------------------------------------------------
+    def admits(self, station: str) -> bool:
+        """Would :meth:`enqueue` accept a packet for ``station`` now?
+
+        Mirrors :meth:`enqueue`'s side effects up to the capacity check
+        (unknown stations are associated), so callers can decide whether
+        to materialize a packet at all.  A ``True`` answer is valid until
+        the next enqueue/dequeue on this scheduler.
+        """
+        if station not in self.queues:
+            self.associate(station)
+        return self.queues[station].has_room()
+
+    def drop_arrival(self, station: str) -> None:
+        """Account an arrival refused by :meth:`admits` as a tail drop.
+
+        Together with :meth:`admits` this is the allocation-free
+        equivalent of ``enqueue`` returning ``False``: the same counters
+        move, but no packet object ever existed.
+        """
+        self.queues[station].count_drop()
 
     def on_uplink_complete(
         self, station: str, airtime_us: float, *, attempts: int = 1,

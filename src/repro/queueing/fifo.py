@@ -34,6 +34,14 @@ class ApFifoScheduler(ApScheduler):
             self.mac.notify_pending()
         return True
 
+    def admits(self, station: str) -> bool:
+        if station not in self.queues:
+            self.associate(station)
+        return len(self._fifo) < self.total_capacity
+
+    def drop_arrival(self, station: str) -> None:
+        self.fifo_dropped += 1
+
     def has_pending(self) -> bool:
         return bool(self._fifo)
 

@@ -11,7 +11,7 @@ backoff expires in the same slot must both decide to transmit *before*
 either observes the other's carrier).
 """
 
-from repro.sim.event import Event, EventPriority
+from repro.sim.event import Event, EventCategory, EventPriority
 from repro.sim.kernel import Simulator, SimulationError
 from repro.sim.timers import PeriodicTimer
 from repro.sim.process import Process, Sleep, waituntil
@@ -35,6 +35,7 @@ from repro.sim.units import (
 
 __all__ = [
     "Event",
+    "EventCategory",
     "EventPriority",
     "Simulator",
     "SimulationError",

@@ -6,6 +6,34 @@ import enum
 from typing import Any, Callable, Optional
 
 
+class EventCategory(enum.IntEnum):
+    """Coarse accounting buckets for kernel events.
+
+    Every scheduled event carries a category tag so the kernel can
+    answer *where the events went* (``Simulator.events_by_category``),
+    not just how many executed.  The buckets mirror the simulator's
+    layers:
+
+    * ``TRAFFIC`` — offered-load machinery: source timers, wired-link
+      deliveries, demand-driven pump wakes, transport timers.
+    * ``MAC`` — 802.11 state machine: backoff countdowns, ACK
+      responses and timeouts, burst continuations, polling cycles.
+    * ``PHY`` — frame-end / reception events on the channel.
+    * ``TIMER`` — periodic housekeeping (TBR fill/adjust, monitors).
+    * ``OTHER`` — everything untagged.
+    """
+
+    OTHER = 0
+    TRAFFIC = 1
+    MAC = 2
+    PHY = 3
+    TIMER = 4
+
+
+#: Number of category buckets (sizes the kernel's counter array).
+NUM_CATEGORIES = 5
+
+
 class EventPriority(enum.IntEnum):
     """Tie-break ordering for events scheduled at the same timestamp.
 
@@ -48,6 +76,7 @@ class Event:
         "callback",
         "args",
         "cancelled",
+        "category",
         "_kernel",
         "_in_heap",
         "_transient",
@@ -61,6 +90,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         kernel: Optional[object] = None,
+        category: int = 0,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -68,6 +98,8 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: accounting bucket (:class:`EventCategory`) counted on execution.
+        self.category = category
         #: owning kernel, informed of cancellations for O(1) accounting.
         self._kernel = kernel
         #: True while a heap entry references this event.

@@ -30,7 +30,7 @@ import random
 from heapq import heapify, heappush
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.event import Event, EventPriority
+from repro.sim.event import NUM_CATEGORIES, Event, EventCategory, EventPriority
 
 #: Compact only when at least this many stale entries accumulated (tiny
 #: heaps are cheaper to drain lazily than to rebuild).
@@ -62,6 +62,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: executed events per EventCategory bucket (index = category).
+        self._cat_counts = [0] * NUM_CATEGORIES
         #: non-cancelled events currently queued (O(1) pending_count).
         self._live = 0
         #: cancelled events still occupying heap entries.
@@ -89,6 +91,19 @@ class Simulator:
         """How many times the stale-dominated heap was rebuilt."""
         return self._compactions
 
+    def events_by_category(self) -> dict:
+        """Executed-event counts keyed by :class:`EventCategory` name.
+
+        The names are lowercase (``traffic``, ``mac``, ``phy``,
+        ``timer``, ``other``) so the mapping drops straight into JSON
+        reports.  Counts are cumulative since construction, like
+        :attr:`events_executed`.
+        """
+        return {
+            category.name.lower(): self._cat_counts[category]
+            for category in EventCategory
+        }
+
     # ------------------------------------------------------------------
     # randomness
     # ------------------------------------------------------------------
@@ -112,6 +127,7 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` us from now."""
         if delay < 0:
@@ -122,7 +138,7 @@ class Simulator:
         prio = priority if type(priority) is int else int(priority)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, prio, seq, callback, args, self)
+        event = Event(time, prio, seq, callback, args, self, category)
         event._in_heap = True
         self._live += 1
         heappush(self._heap, (time, prio, seq, event))
@@ -134,6 +150,7 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         if time < self._now:
@@ -143,7 +160,7 @@ class Simulator:
         prio = priority if type(priority) is int else int(priority)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, prio, seq, callback, args, self)
+        event = Event(time, prio, seq, callback, args, self, category)
         event._in_heap = True
         self._live += 1
         heappush(self._heap, (time, prio, seq, event))
@@ -154,6 +171,7 @@ class Simulator:
         requests: Iterable[Sequence],
         *,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> List[Event]:
         """Batch-schedule ``(delay, callback, *args)`` tuples.
 
@@ -173,7 +191,7 @@ class Simulator:
         append = events.append
         for request in batch:
             time = now + request[0]
-            event = Event(time, prio, seq, request[1], request[2:], self)
+            event = Event(time, prio, seq, request[1], request[2:], self, category)
             event._in_heap = True
             heappush(heap, (time, prio, seq, event))
             seq += 1
@@ -188,6 +206,7 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Schedule a fire-and-forget callback, recycling event objects.
 
@@ -217,8 +236,50 @@ class Simulator:
             event.callback = callback
             event.args = args
             event.cancelled = False
+            event.category = category
         else:
-            event = Event(time, prio, seq, callback, args, self)
+            event = Event(time, prio, seq, callback, args, self, category)
+            event._transient = True
+        event._in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, prio, seq, event))
+        return event
+
+    def schedule_transient_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+        category: int = 0,
+    ) -> Event:
+        """Absolute-time variant of :meth:`schedule_transient`.
+
+        Needed when the target timestamp was computed elsewhere and must
+        be hit exactly: going through a relative delay re-associates the
+        float arithmetic (``now + (t - now)``), which can land one ulp
+        off ``t``.  Same recycling contract as
+        :meth:`schedule_transient`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._now!r}"
+            )
+        prio = priority if type(priority) is int else int(priority)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = prio
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.category = category
+        else:
+            event = Event(time, prio, seq, callback, args, self, category)
             event._transient = True
         event._in_heap = True
         self._live += 1
@@ -230,9 +291,12 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Schedule ``callback`` at the current time (after current event)."""
-        return self.schedule_at(self._now, callback, *args, priority=priority)
+        return self.schedule_at(
+            self._now, callback, *args, priority=priority, category=category
+        )
 
     def reschedule(
         self,
@@ -241,6 +305,7 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Like :meth:`schedule`, but recycles ``event`` when possible.
 
@@ -255,7 +320,9 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         time = self._now + delay
         if event is None or event._in_heap or event._kernel is not self:
-            return self.schedule_at(time, callback, *args, priority=priority)
+            return self.schedule_at(
+                time, callback, *args, priority=priority, category=category
+            )
         # Inlined reuse path (mirrors reschedule_at, minus the past-time
         # check: delay >= 0 guarantees time >= now).
         prio = priority if type(priority) is int else int(priority)
@@ -267,6 +334,7 @@ class Simulator:
         event.callback = callback
         event.args = args
         event.cancelled = False
+        event.category = category
         event._in_heap = True
         self._live += 1
         heappush(self._heap, (time, prio, seq, event))
@@ -279,10 +347,13 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         priority: int = EventPriority.NORMAL,
+        category: int = 0,
     ) -> Event:
         """Absolute-time variant of :meth:`reschedule`."""
         if event is None or event._in_heap or event._kernel is not self:
-            return self.schedule_at(time, callback, *args, priority=priority)
+            return self.schedule_at(
+                time, callback, *args, priority=priority, category=category
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r}, now is {self._now!r}"
@@ -296,6 +367,7 @@ class Simulator:
         event.callback = callback
         event.args = args
         event.cancelled = False
+        event.category = category
         event._in_heap = True
         self._live += 1
         heappush(self._heap, (time, prio, seq, event))
@@ -365,6 +437,7 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         free = self._free
+        cat_counts = self._cat_counts
         horizon = float("inf") if until is None else until
         budget = -1 if max_events is None else max_events
         try:
@@ -394,6 +467,9 @@ class Simulator:
                 # Break reference cycles and make double-execution obvious.
                 event.callback = None  # type: ignore[assignment]
                 event.args = ()
+                # Read the category before the callback runs: a recycled
+                # transient may already describe a different event after.
+                cat_counts[event.category] += 1
                 if event._transient and len(free) < 512:
                     free.append(event)
                 callback(*args)

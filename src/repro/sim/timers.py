@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.sim.event import Event, EventPriority
+from repro.sim.event import Event, EventCategory, EventPriority
 from repro.sim.kernel import Simulator
 
 
@@ -69,7 +69,8 @@ class PeriodicTimer:
         # Recycle the just-fired event object (timer-reuse fast path);
         # a cancelled-in-heap event falls back to a fresh allocation.
         self._event = self.sim.reschedule(
-            self._event, self._next_delay(), self._fire, priority=self.priority
+            self._event, self._next_delay(), self._fire,
+            priority=self.priority, category=EventCategory.TIMER,
         )
 
     def _fire(self) -> None:

@@ -8,20 +8,23 @@ application-limited senders — are reproduced by a compact TCP Reno
 implementation and simple link/app models.
 """
 
-from repro.transport.packet import Packet
+from repro.transport.packet import Packet, PacketPool
 from repro.transport.wired import WiredLink
 from repro.transport.stats import FlowStats
 from repro.transport.tcp import TcpParams, TcpSender, TcpReceiver
-from repro.transport.udp import UdpSender, UdpSink
+from repro.transport.udp import UdpDatagram, UdpDownlinkSource, UdpSender, UdpSink
 from repro.transport.apps import BulkApp, TaskApp, PacedApp
 
 __all__ = [
     "Packet",
+    "PacketPool",
     "WiredLink",
     "FlowStats",
     "TcpParams",
     "TcpSender",
     "TcpReceiver",
+    "UdpDatagram",
+    "UdpDownlinkSource",
     "UdpSender",
     "UdpSink",
     "BulkApp",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.sim import EventPriority, Simulator
+from repro.sim import EventCategory, EventPriority, Simulator
 from repro.transport.stats import FlowStats
 
 
@@ -275,7 +275,8 @@ class TcpSender:
 
     def _arm_rto(self) -> None:
         self._rto_event = self.sim.schedule(
-            self.rto, self._on_rto, priority=EventPriority.LOW
+            self.rto, self._on_rto,
+            priority=EventPriority.LOW, category=EventCategory.TRAFFIC,
         )
 
     def _restart_rto(self) -> None:
@@ -377,6 +378,7 @@ class TcpReceiver:
                 self.params.delack_timeout_us,
                 self._delack_fire,
                 priority=EventPriority.LOW,
+                category=EventCategory.TRAFFIC,
             )
 
     def _delack_fire(self) -> None:

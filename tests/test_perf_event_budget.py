@@ -1,0 +1,89 @@
+"""Deterministic event budgets for the ``repro perf`` matrix.
+
+These pins are the enforcement half of the demand-driven traffic
+engine: the fused path charges exactly ONE kernel event per offered
+packet, and any future change that silently re-inflates event volume —
+a timer that re-arms per packet, a wire that grows its transient pair
+back, a scheduler that polls — shifts these exact counts and fails
+tier-1.
+
+The counts are fully deterministic (fixed seed, named RNG streams), so
+exact equality is the right assertion; the failure message prints the
+measured table to paste in *if the inflation is intentional and
+justified in the PR description*.
+
+The headline pin doubles as the PR's acceptance record: PR 2's
+``tbr/multi/n64`` @ 0.5 s executed 2378 events; the engine brought it
+to 1378 (-42%, >= the 35% target), of which 998 are traffic — one per
+offered packet plus the pump's lead-in — instead of 2 * offered.
+"""
+
+import pytest
+
+from repro.perf.scaling import PerfScenario, run_scenario
+
+#: (scheduler, profile, stations, seconds) -> (total, per-category).
+PINNED_BUDGETS = {
+    ("fifo", "same", 4, 0.1): (
+        398, {"traffic": 198, "mac": 100, "phy": 100, "timer": 0, "other": 0},
+    ),
+    ("drr", "same", 4, 0.1): (
+        398, {"traffic": 198, "mac": 100, "phy": 100, "timer": 0, "other": 0},
+    ),
+    ("tbr", "same", 4, 0.1): (
+        407, {"traffic": 198, "mac": 100, "phy": 100, "timer": 9, "other": 0},
+    ),
+    ("fifo", "multi", 4, 0.1): (
+        258, {"traffic": 198, "mac": 30, "phy": 30, "timer": 0, "other": 0},
+    ),
+    ("drr", "multi", 4, 0.1): (
+        258, {"traffic": 198, "mac": 30, "phy": 30, "timer": 0, "other": 0},
+    ),
+    ("tbr", "multi", 4, 0.1): (
+        267, {"traffic": 198, "mac": 30, "phy": 30, "timer": 9, "other": 0},
+    ),
+    # The BENCH_perf.json headline scenario (PR 2 baseline: 2378).
+    ("tbr", "multi", 64, 0.5): (
+        1378, {"traffic": 998, "mac": 165, "phy": 166, "timer": 49, "other": 0},
+    ),
+}
+
+PR2_HEADLINE_EVENTS = 2378
+
+
+@pytest.mark.parametrize(
+    "key", sorted(PINNED_BUDGETS), ids=lambda k: f"{k[0]}/{k[1]}/n{k[2]}"
+)
+def test_scenario_event_budget_is_pinned(key):
+    scheduler, profile, stations, seconds = key
+    expected_total, expected_cats = PINNED_BUDGETS[key]
+    sample = run_scenario(
+        PerfScenario(
+            stations=stations,
+            scheduler=scheduler,
+            profile=profile,
+            seconds=seconds,
+        )
+    )
+    measured = (sample.events, sample.events_by_category)
+    assert measured == (expected_total, expected_cats), (
+        "event budget shifted — if the change is intentional, update "
+        f"PINNED_BUDGETS[{key!r}] to {measured!r} and justify the new "
+        "volume in the PR description"
+    )
+
+
+def test_headline_event_reduction_vs_pr2_baseline():
+    """The acceptance criterion: >= 35% fewer kernel events on
+    tbr/multi/n64 than the PR 2 two-event traffic path."""
+    total, cats = PINNED_BUDGETS[("tbr", "multi", 64, 0.5)]
+    assert total <= PR2_HEADLINE_EVENTS * 0.65
+    # Traffic events now dominate by exactly one-per-packet, not two.
+    assert cats["traffic"] < PR2_HEADLINE_EVENTS * 0.5
+
+
+def test_budget_table_covers_every_category_key():
+    from repro.perf.scaling import EVENT_CATEGORIES
+
+    for _, cats in PINNED_BUDGETS.values():
+        assert set(cats) == set(EVENT_CATEGORIES)

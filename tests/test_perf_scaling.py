@@ -200,6 +200,65 @@ def test_report_round_trips_campaign_section(tmp_path):
     assert load_report(target)["campaign"] == campaign
 
 
+def test_sample_records_event_categories():
+    sample = run_scenario(
+        PerfScenario(stations=4, scheduler="tbr", profile="multi", seconds=0.1)
+    )
+    cats = sample.events_by_category
+    assert set(cats) == {"traffic", "mac", "phy", "timer", "other"}
+    assert sum(cats.values()) == sample.events
+    # Saturated downlink: traffic events exist and cost one per packet.
+    assert cats["traffic"] > 0
+    row = sample_row(sample)
+    assert row["events_by_category"] == cats
+
+
+def test_report_round_trips_event_categories(tmp_path):
+    sample = run_scenario(
+        PerfScenario(stations=4, scheduler="fifo", profile="same", seconds=0.05)
+    )
+    target = write_report([sample], tmp_path / "b.json")
+    [row] = load_report(target)["results"]
+    assert row["events_by_category"] == sample.events_by_category
+
+
+def test_perf_cli_events_flag(tmp_path, capsys):
+    rc = perf_cli_main(
+        ["--stations", "4", "--schedulers", "fifo", "--profiles", "same",
+         "--seconds", "0.05", "--events", "--no-write"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Kernel events by category" in out
+    assert "traffic" in out and "phy" in out
+
+
+def test_campaign_bench_single_worker_skips_parallel_leg():
+    """With one usable worker the parallel leg is skipped, annotated,
+    and the JSON row says why (the old behavior produced a misleading
+    sub-1 'speedup' on single-core hosts)."""
+    from repro.perf.campaign_bench import (
+        campaign_row,
+        render_campaign,
+        run_campaign_bench,
+    )
+
+    sample = run_campaign_bench(
+        ["fig2"], workers=1, seconds={"fig2": 0.2}
+    )
+    assert sample.parallel_wall_s is None
+    assert sample.parallel_speedup is None
+    assert "skipped" in sample.degraded_reason
+    assert sample.warm_executed == 0  # warm leg still runs, via cache
+    assert 0 <= sample.warm_fraction < 1
+    row = campaign_row(sample)
+    assert json.dumps(row)
+    assert row["parallel_wall_s"] is None
+    assert row["parallel_speedup"] is None
+    assert "skipped" in row["degraded_reason"]
+    assert "skipped" in render_campaign(sample)
+
+
 def test_campaign_bench_smoke(tmp_path):
     # Two cheap experiments, tiny durations: all three legs run, the
     # warm leg executes nothing, and the row is JSON-serializable.
