@@ -6,14 +6,16 @@ Usage::
     python -m repro fig9 [--seed 2] [--seconds 10]
     python -m repro all  [--seed 1]
     python -m repro campaign [fig8 fig9 ...] [--jobs 8] [--force]
+    python -m repro scenario run churn [--set period_s=1.0]
     python -m repro perf [--stations 4,16,64,128] [--schedulers fifo,drr,tbr]
 
 Each experiment prints the same paper-vs-measured rendering the
 benchmark harness stores under ``benchmarks/results/``.  ``campaign``
 runs any mix of experiments across worker processes with an on-disk
-result cache (see ``repro.campaign``); ``perf`` runs the simulator
-scaling benchmark instead (see ``repro.perf``) and writes
-``BENCH_perf.json``.
+result cache (see ``repro.campaign``); ``scenario`` runs and sweeps
+the declarative workload families (see ``repro.scenario``); ``perf``
+runs the simulator scaling benchmark instead (see ``repro.perf``) and
+writes ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -52,6 +54,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        from repro.scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -64,7 +70,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         help=(
             "experiment name (see 'list'), 'all', 'list', 'campaign', "
-            "or 'perf'"
+            "'scenario', or 'perf'"
         ),
     )
     parser.add_argument("--seed", type=int, default=1)
@@ -82,6 +88,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:8} {doc}")
         print("  campaign Parallel cached experiment runner "
               "(python -m repro campaign --help)")
+        print("  scenario Declarative workload families: run/list/sweep "
+              "(python -m repro scenario --help)")
         print("  perf     Simulator scaling benchmark -> BENCH_perf.json "
               "(python -m repro perf --help)")
         return 0

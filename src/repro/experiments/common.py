@@ -21,8 +21,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.campaign.job import Job, make_job
 from repro.core.tbr import TbrConfig
-from repro.node.cell import Cell
 from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
+from repro.scenario.builder import ScenarioRuntime
+from repro.scenario.spec import FlowSpec, ScenarioSpec, StationSpec
 
 
 @dataclass
@@ -42,6 +43,60 @@ class CompetingResult:
         return sum(self.throughput_mbps.values())
 
 
+def competing_spec(
+    rates: Union[Dict[str, float], Sequence[float]],
+    *,
+    direction: str = "up",
+    scheduler: str = "fifo",
+    transport: str = "tcp",
+    udp_rate_mbps: float = 4.0,
+    seconds: float = 15.0,
+    warmup_seconds: float = 3.0,
+    seed: int = 1,
+    tbr_config: Optional[TbrConfig] = None,
+    phy: PhyParams = DOT11B_LONG_PREAMBLE,
+) -> ScenarioSpec:
+    """The competing-stations setup as a declarative ScenarioSpec.
+
+    One station per entry of ``rates``, each with a single bulk TCP (or
+    CBR UDP) flow in ``direction`` — the paper's universal experiment
+    shape, now expressed in the same spec language as the scenario
+    families, so sweeps, the campaign cache and the builder treat both
+    identically.
+    """
+    if transport not in ("tcp", "udp"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if not isinstance(rates, dict):
+        rates = {f"n{i + 1}": r for i, r in enumerate(rates)}
+    stations = tuple(
+        StationSpec(name, rate_mbps=rate) for name, rate in rates.items()
+    )
+    if transport == "tcp":
+        flows = tuple(
+            FlowSpec(station=name, kind="tcp", direction=direction)
+            for name in rates
+        )
+    else:
+        flows = tuple(
+            FlowSpec(
+                station=name, kind="udp", direction=direction,
+                rate_mbps=udp_rate_mbps,
+            )
+            for name in rates
+        )
+    return ScenarioSpec(
+        name=f"competing/{scheduler}/{transport}-{direction}",
+        scheduler=scheduler,
+        tbr_config=tbr_config,
+        phy=phy,
+        stations=stations,
+        flows=flows,
+        seconds=seconds,
+        warmup_seconds=warmup_seconds,
+        seed=seed,
+    )
+
+
 def run_competing(
     rates: Union[Dict[str, float], Sequence[float]],
     *,
@@ -57,6 +112,11 @@ def run_competing(
 ) -> CompetingResult:
     """Run n stations with one bulk flow each and measure the paper's
     quantities (per-station goodput and channel occupancy).
+
+    The setup is described by :func:`competing_spec` and compiled by
+    the scenario builder, which constructs the cell in exactly the
+    station-then-flow order this function always used — the fig/table
+    renderings are byte-identical to the pre-scenario code path.
 
     The windows are additive: the cell first runs ``warmup_seconds``
     (discarded), then measures for ``seconds`` — so a warm-up longer
@@ -75,22 +135,25 @@ def run_competing(
         raise ValueError(
             f"warmup_seconds must be >= 0, got {warmup_seconds!r}"
         )
-    if not isinstance(rates, dict):
-        rates = {f"n{i + 1}": r for i, r in enumerate(rates)}
-    cell = Cell(seed=seed, scheduler=scheduler, tbr_config=tbr_config, phy=phy)
-    for name, rate in rates.items():
-        station = cell.add_station(name, rate_mbps=rate)
-        if transport == "tcp":
-            cell.tcp_flow(station, direction=direction)
-        elif transport == "udp":
-            cell.udp_flow(station, direction=direction, rate_mbps=udp_rate_mbps)
-        else:
-            raise ValueError(f"unknown transport {transport!r}")
-    cell.run(seconds=seconds, warmup_seconds=warmup_seconds)
+    spec = competing_spec(
+        rates,
+        direction=direction,
+        scheduler=scheduler,
+        transport=transport,
+        udp_rate_mbps=udp_rate_mbps,
+        seconds=seconds,
+        warmup_seconds=warmup_seconds,
+        seed=seed,
+        tbr_config=tbr_config,
+        phy=phy,
+    )
+    runtime = ScenarioRuntime(spec)
+    runtime.run()
+    cell = runtime.cell
     return CompetingResult(
         scheduler=scheduler,
         direction=direction,
-        rates=dict(rates),
+        rates={s.name: s.rate_mbps for s in spec.stations},
         throughput_mbps=cell.station_throughputs_mbps(),
         occupancy=cell.occupancy_fractions(),
         seconds=seconds,

@@ -1,0 +1,237 @@
+"""Compile a :class:`~repro.scenario.spec.ScenarioSpec` into a live cell.
+
+The builder is the *only* way specs touch the simulator, and it is
+deliberately boring: stations are created in spec order, each followed
+immediately by its flows in spec order — exactly the construction
+sequence the pre-scenario experiment code used, which is what keeps the
+fig/table goldens byte-identical now that
+:func:`repro.experiments.common.run_competing` goes through here.
+
+Timeline events are scheduled up front (category ``OTHER``, so they
+show up as their own line in the kernel's event accounting) and fire
+inside the run:
+
+* **join** — ``Cell.add_station`` plus the event's flows, mid-air; the
+  paper's ASSOCIATEEVENT path handles mid-run association (TBR grants
+  the initial token allotment at that moment).
+* **leave** / **traffic off** — the station's sources are *quiesced*:
+  UDP sources stop at the current instant, TCP senders have their
+  application clamped at the bytes already handed to the network
+  (in-flight data drains normally; nothing new is offered).
+* **rate switch** — the station's ``FixedRate`` controller and the
+  AP's downlink rate toward it are repointed; the next MAC exchange
+  uses the new rate, like a NIC stepping its modulation.
+* **traffic on** — the station's spec'd flows are re-instantiated
+  under fresh ``name@<burst>`` identities, so every burst gets its own
+  named RNG stream and the run stays deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.node.cell import Cell, FlowHandle
+from repro.node.rate_control import FixedRate
+from repro.scenario.spec import (
+    FlowSpec,
+    JoinEvent,
+    LeaveEvent,
+    RateSwitchEvent,
+    ScenarioSpec,
+    StationSpec,
+    TrafficOffEvent,
+    TrafficOnEvent,
+)
+from repro.sim import EventCategory, us_from_s
+from repro.transport.apps import PacedApp
+
+
+class ScenarioRuntime:
+    """A compiled scenario: the cell plus the timeline machinery."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.cell = Cell(
+            seed=spec.seed,
+            scheduler=spec.scheduler,
+            tbr_config=spec.tbr_config,
+            phy=spec.phy,
+        )
+        #: flows currently offering traffic, per station.
+        self._active: Dict[str, List[FlowHandle]] = {}
+        #: the spec flows a ``traffic on`` burst re-instantiates.
+        self._spec_flows: Dict[str, List[FlowSpec]] = {}
+        self._burst_seq: Dict[str, int] = {}
+        self._departed: Set[str] = set()
+        self.timeline_fired = 0
+
+        for station in spec.stations:
+            self._add_station(
+                station, [f for f in spec.flows if f.station == station.name]
+            )
+        # Stable sort: simultaneous events fire in spec order.
+        for event in sorted(spec.timeline, key=lambda e: e.at_s):
+            self.cell.sim.schedule(
+                us_from_s(event.at_s),
+                self._fire,
+                event,
+                category=EventCategory.OTHER,
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add_station(
+        self, station: StationSpec, flows: List[FlowSpec]
+    ) -> None:
+        self.cell.add_station(
+            station.name,
+            rate_mbps=station.rate_mbps,
+            downlink_rate_mbps=station.downlink_rate_mbps,
+            queue_capacity=station.queue_capacity,
+            cooperate_with_tbr=station.cooperate_with_tbr,
+        )
+        self._spec_flows[station.name] = list(flows)
+        self._active[station.name] = []
+        for flow, name in zip(flows, self._flow_names(flows)):
+            self._start_flow(flow, name=name)
+
+    @staticmethod
+    def _flow_names(
+        flows: List[FlowSpec], suffix: str = ""
+    ) -> List[Optional[str]]:
+        """Explicit flow names where the Cell's defaults would collide.
+
+        ``Cell`` names flows ``<station>/<kind>-<direction>``, so two
+        spec flows sharing that triple would merge in every per-flow
+        report (and share a UDP RNG stream name).  The first occurrence
+        keeps the default name (``None`` — byte-compatible with the
+        pre-scenario construction path); repeats get ``#2``, ``#3``…
+        ``suffix`` carries the ``@<burst>`` tag for re-started flows,
+        where even first occurrences need an explicit name.
+        """
+        counts: Dict[tuple, int] = {}
+        names: List[Optional[str]] = []
+        for flow in flows:
+            base = f"{flow.station}/{flow.kind}-{flow.direction}"
+            n = counts[base] = counts.get(base, 0) + 1
+            dup = "" if n == 1 else f"#{n}"
+            if not suffix and n == 1:
+                names.append(None)
+            else:
+                names.append(f"{base}{dup}{suffix}")
+        return names
+
+    def _start_flow(
+        self, flow: FlowSpec, name: Optional[str] = None
+    ) -> FlowHandle:
+        station = self.cell.stations[flow.station]
+        if flow.kind == "tcp":
+            handle = self.cell.tcp_flow(
+                station,
+                direction=flow.direction,
+                app=flow.app,
+                task_bytes=flow.task_bytes,
+                paced_mbps=flow.rate_mbps if flow.app == "paced" else None,
+                name=name,
+            )
+        else:
+            handle = self.cell.udp_flow(
+                station,
+                direction=flow.direction,
+                rate_mbps=flow.rate_mbps,
+                payload_bytes=flow.payload_bytes,
+                name=name,
+            )
+        self._active[flow.station].append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # timeline execution
+    # ------------------------------------------------------------------
+    def _fire(self, event) -> None:
+        self.timeline_fired += 1
+        if isinstance(event, JoinEvent):
+            self._add_station(event.station, list(event.flows))
+        elif isinstance(event, LeaveEvent):
+            self._quiesce_station(event.station)
+            self._departed.add(event.station)
+        elif isinstance(event, RateSwitchEvent):
+            self._switch_rate(event)
+        elif isinstance(event, TrafficOffEvent):
+            self._quiesce_station(event.station)
+        elif isinstance(event, TrafficOnEvent):
+            self._burst_on(event.station)
+        else:  # pragma: no cover - spec.validate() rejects unknown kinds
+            raise TypeError(f"unknown timeline event {event!r}")
+
+    def _quiesce_station(self, name: str) -> None:
+        for handle in self._active.get(name, ()):
+            self._quiesce_flow(handle)
+        self._active[name] = []
+
+    @staticmethod
+    def _quiesce_flow(handle: FlowHandle) -> None:
+        if handle.kind == "udp":
+            handle.sender.stop()
+            return
+        if isinstance(handle.app, PacedApp):
+            handle.app.stop()
+        sender = handle.sender
+        # Clamp the application at the bytes already handed to the
+        # network: nothing new is offered, in-flight data drains.
+        if sender.app_limit is None or sender.app_limit > sender.snd_nxt:
+            sender.app_limit = sender.snd_nxt
+        sender.app_finished = True
+
+    def _switch_rate(self, event: RateSwitchEvent) -> None:
+        station = self.cell.stations[event.station]
+        controller = station.rate_controller
+        if not isinstance(controller, FixedRate):
+            raise TypeError(
+                f"rate switch for {event.station!r} needs a FixedRate "
+                f"controller, found {type(controller).__name__}"
+            )
+        controller.default_mbps = event.rate_mbps
+        controller.table.clear()
+        downlink = (
+            event.downlink_rate_mbps
+            if event.downlink_rate_mbps is not None
+            else event.rate_mbps
+        )
+        self.cell.ap.set_downlink_rate(event.station, downlink)
+
+    def _burst_on(self, name: str) -> None:
+        if name in self._departed:
+            return
+        self._quiesce_station(name)  # idempotent: on-after-on restarts
+        seq = self._burst_seq.get(name, 0) + 1
+        self._burst_seq[name] = seq
+        flows = self._spec_flows.get(name, [])
+        for flow, flow_name in zip(
+            flows, self._flow_names(flows, suffix=f"@{seq}")
+        ):
+            self._start_flow(flow, name=flow_name)
+
+    # ------------------------------------------------------------------
+    # running and reporting
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Warm up, then measure, per the spec's windows."""
+        self.cell.run(
+            seconds=self.spec.seconds,
+            warmup_seconds=self.spec.warmup_seconds,
+        )
+
+    def station_rates_mbps(self) -> Dict[str, float]:
+        """Current uplink rate per station (post-timeline)."""
+        return {
+            name: station.rate_controller.rate_for(station.ap_address)
+            for name, station in self.cell.stations.items()
+        }
+
+
+def build(spec: ScenarioSpec) -> ScenarioRuntime:
+    """Validate and compile ``spec`` (not yet run)."""
+    return ScenarioRuntime(spec)

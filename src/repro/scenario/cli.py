@@ -1,0 +1,210 @@
+"""``python -m repro scenario`` — run and sweep declarative scenarios.
+
+Examples::
+
+    python -m repro scenario list
+    python -m repro scenario run churn
+    python -m repro scenario run mobility --set dwell_s=0.5 --seed 2
+    python -m repro scenario sweep bursty --axis scheduler=fifo,tbr \
+        --axis udp_mbps=4,8 --jobs 4
+
+``run`` compiles one family in-process; ``sweep`` fans the cartesian
+product of the ``--axis`` values out through the campaign executor —
+worker processes plus the on-disk result cache — so a re-run only
+simulates the points whose spec content changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+# Same default cache as the figure/table campaigns — scenario jobs are
+# content-addressed, so sharing the directory is safe (and lets warm
+# re-runs coalesce across both CLIs).
+from repro.campaign.cli import DEFAULT_CACHE_DIR
+from repro.scenario.registry import FAMILIES, build_spec, sweep_specs
+from repro.scenario.runner import render_result, run_spec, scenario_job
+
+
+def _coerce(text: str) -> Any:
+    """CLI value -> int/float/bool/str (most specific wins)."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignments(pairs: List[str], flag: str) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"{flag} expects key=value, got {pair!r}")
+        if key in out:
+            raise ValueError(
+                f"{flag} given twice for {key!r} — the first value "
+                "would be silently dropped"
+            )
+        out[key] = value
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description=(
+            "Compile declarative scenario specs (churn, mobility, "
+            "bursty traffic, TCP/UDP mixes) and run them — one-off or "
+            "as cached parallel sweeps."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenario families and their knobs")
+
+    run_p = sub.add_parser("run", help="run one family in-process")
+    run_p.add_argument("family", metavar="FAMILY")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument(
+        "--seconds", type=float, default=None,
+        help="measurement window override (family default if omitted)",
+    )
+    run_p.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="assignments", help="override any family knob (repeatable)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="fan a parameter sweep out as cached campaign jobs"
+    )
+    sweep_p.add_argument("family", metavar="FAMILY")
+    sweep_p.add_argument(
+        "--axis", action="append", default=[], metavar="KEY=V1,V2,...",
+        dest="axes", help="sweep axis (repeatable; cartesian product)",
+    )
+    sweep_p.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="assignments", help="fixed override applied to every point",
+    )
+    sweep_p.add_argument("--jobs", type=int, default=None, metavar="N")
+    sweep_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR"
+    )
+    sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument("--force", action="store_true")
+    sweep_p.add_argument("--quiet", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, family in FAMILIES.items():
+            print(f"  {name:9} {family.summary}")
+            knobs = ", ".join(
+                f"{k}={v}" for k, v in family.defaults.items()
+            )
+            print(f"            knobs: {knobs}")
+        return 0
+
+    if args.family not in FAMILIES:
+        valid = ", ".join(FAMILIES)
+        print(
+            f"unknown scenario family {args.family!r}; valid: {valid}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        overrides = {
+            key: _coerce(value)
+            for key, value in _parse_assignments(
+                args.assignments, "--set"
+            ).items()
+        }
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.command == "run":
+        # The dedicated flags and --set are two spellings of the same
+        # override; refuse both, same as a repeated --set key.
+        for flag, value in (("seed", args.seed), ("seconds", args.seconds)):
+            if value is not None:
+                if flag in overrides:
+                    print(
+                        f"--{flag} and --set {flag}=... given together — "
+                        "pick one",
+                        file=sys.stderr,
+                    )
+                    return 2
+                overrides[flag] = value
+        try:
+            # build_spec raises on unknown knobs, the family builder on
+            # mistyped values (e.g. a float joiner count), validate()
+            # on inconsistent specs — all are user input errors here.
+            spec = build_spec(args.family, **overrides)
+            spec.validate()
+        except (ValueError, TypeError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(render_result(run_spec(spec)))
+        return 0
+
+    # sweep
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        axes = {
+            key: [_coerce(v) for v in value.split(",") if v]
+            for key, value in _parse_assignments(args.axes, "--axis").items()
+        }
+        clash = sorted(set(axes) & set(overrides))
+        if clash:
+            print(
+                f"--axis and --set given for the same knob(s): "
+                f"{', '.join(clash)} — an axis value would silently "
+                "replace the fixed override",
+                file=sys.stderr,
+            )
+            return 2
+        specs = sweep_specs(args.family, axes, **overrides)
+        for spec in specs:
+            spec.validate()  # fail fast, before any worker fan-out
+    except (ValueError, TypeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.executor import run_jobs
+
+    jobs = [scenario_job(spec, key=spec.name) for spec in specs]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(event: str, job, done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"  [{done}/{total}] {job.label} ({event})")
+
+    outcome = run_jobs(
+        jobs,
+        workers=args.jobs,
+        cache=cache,
+        force=args.force,
+        progress=progress,
+    )
+    by_key = outcome.experiment_results("scenario")
+    for spec in specs:
+        print(render_result(by_key[spec.name]))
+        print()
+    print(outcome.stats.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,344 @@
+"""Named scenario families and parameter sweeps.
+
+A *family* is a parameterized generator of :class:`ScenarioSpec`s: it
+owns a set of named knobs with defaults, and compiles any assignment of
+those knobs into one concrete spec.  Families are what the
+``repro scenario`` CLI lists, runs and sweeps, and what the golden
+tests pin.
+
+The shipped families exercise the workload space the paper's static
+setups never touch — each one keeps the paper's central tension (slow
+and fast stations sharing one cell) while the cell *changes under the
+scheduler*:
+
+* ``churn``    — stations join and leave through a rotating door;
+* ``mobility`` — a walker steps down the 802.11b rate ladder and back;
+* ``bursty``   — a fast station's downlink UDP flips on and off against
+  a slow steady uploader;
+* ``mixed``    — simultaneous TCP uploads and UDP downloads across a
+  multi-rate cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.scenario.spec import (
+    FlowSpec,
+    JoinEvent,
+    LeaveEvent,
+    RateSwitchEvent,
+    ScenarioSpec,
+    StationSpec,
+    TrafficOffEvent,
+    TrafficOnEvent,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One selectable family: a builder plus its knob defaults."""
+
+    name: str
+    summary: str
+    builder: Callable[..., ScenarioSpec]
+    defaults: Mapping[str, Any]
+
+
+# ----------------------------------------------------------------------
+# churn — stations join and leave through a rotating door
+# ----------------------------------------------------------------------
+def _build_churn(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 10.0,
+    warmup_s: float = 1.0,
+    period_s: float = 2.0,
+    stay_s: float = 3.0,
+    n_joiners: int = 4,
+    steady_rate: float = 11.0,
+) -> ScenarioSpec:
+    """A steady fast uploader, with multi-rate guests cycling through.
+
+    Joiner ``i`` associates at ``warmup_s + i * period_s``, uploads over
+    TCP at the next rate off the 802.11b ladder, and leaves ``stay_s``
+    later — so the cell's population and rate mix never sit still.
+    """
+    joiner_rates = (1.0, 5.5, 2.0, 11.0)
+    timeline: List[Any] = []
+    for i in range(n_joiners):
+        name = f"guest{i + 1}"
+        join_at = warmup_s + i * period_s
+        timeline.append(
+            JoinEvent(
+                at_s=join_at,
+                station=StationSpec(
+                    name, rate_mbps=joiner_rates[i % len(joiner_rates)]
+                ),
+                flows=(FlowSpec(station=name, kind="tcp", direction="up"),),
+            )
+        )
+        timeline.append(LeaveEvent(at_s=join_at + stay_s, station=name))
+    return ScenarioSpec(
+        name="churn",
+        scheduler=scheduler,
+        stations=(StationSpec("base", rate_mbps=steady_rate),),
+        flows=(FlowSpec(station="base", kind="tcp", direction="up"),),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# mobility — a walker steps down the rate ladder and back
+# ----------------------------------------------------------------------
+def _build_mobility(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 8.0,
+    warmup_s: float = 1.0,
+    dwell_s: float = 1.0,
+    peer_rate: float = 11.0,
+) -> ScenarioSpec:
+    """Two uploaders; one walks away from the AP and returns.
+
+    The walker starts at 11 Mbps and re-rates every ``dwell_s`` along
+    11 -> 5.5 -> 2 -> 1 -> 2 -> 5.5 -> 11 -> ... (both its uplink rate
+    and the AP's downlink rate toward it switch), emulating ARF
+    tracking an SNR ramp without the rate-control noise.
+    """
+    if dwell_s <= 0:
+        # Guard before the timeline loop below: a non-positive dwell
+        # would never advance `at` and generate events unboundedly.
+        raise ValueError(f"dwell_s must be positive, got {dwell_s!r}")
+    ladder = (11.0, 5.5, 2.0, 1.0)
+    walk = list(ladder[1:]) + list(ladder[-2::-1])  # down, then back up
+    timeline: List[Any] = []
+    at = warmup_s + dwell_s
+    step = 0
+    while at < warmup_s + seconds:
+        timeline.append(
+            RateSwitchEvent(
+                at_s=at, station="walker",
+                rate_mbps=walk[step % len(walk)],
+            )
+        )
+        at += dwell_s
+        step += 1
+    return ScenarioSpec(
+        name="mobility",
+        scheduler=scheduler,
+        stations=(
+            StationSpec("fixed", rate_mbps=peer_rate),
+            StationSpec("walker", rate_mbps=ladder[0]),
+        ),
+        flows=(
+            FlowSpec(station="fixed", kind="tcp", direction="up"),
+            FlowSpec(station="walker", kind="tcp", direction="up"),
+        ),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# bursty — on/off downlink UDP against a slow steady uploader
+# ----------------------------------------------------------------------
+def _build_bursty(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 8.0,
+    warmup_s: float = 1.0,
+    on_s: float = 1.0,
+    off_s: float = 1.0,
+    udp_mbps: float = 8.0,
+    steady_rate: float = 1.0,
+) -> ScenarioSpec:
+    """A fast station's saturating download flips on and off.
+
+    The burst station (11 Mbps) starts with its downlink UDP on, then
+    alternates ``on_s`` on / ``off_s`` off; a 1 Mbps station uploads
+    over TCP throughout.  Each burst re-instantiates the source under a
+    fresh ``@<n>`` flow name, so the run is deterministic end to end.
+    """
+    if on_s <= 0 or off_s <= 0:
+        # Guard before the alternating loop: non-positive burst phases
+        # would stall `at` and generate events unboundedly.
+        raise ValueError(
+            f"on_s and off_s must be positive, got {on_s!r}/{off_s!r}"
+        )
+    timeline: List[Any] = []
+    at = warmup_s + on_s
+    while at < warmup_s + seconds:
+        timeline.append(TrafficOffEvent(at_s=at, station="burst"))
+        at += off_s
+        if at >= warmup_s + seconds:
+            break
+        timeline.append(TrafficOnEvent(at_s=at, station="burst"))
+        at += on_s
+    return ScenarioSpec(
+        name="bursty",
+        scheduler=scheduler,
+        stations=(
+            StationSpec("steady", rate_mbps=steady_rate),
+            StationSpec("burst", rate_mbps=11.0),
+        ),
+        flows=(
+            FlowSpec(station="steady", kind="tcp", direction="up"),
+            FlowSpec(
+                station="burst", kind="udp", direction="down",
+                rate_mbps=udp_mbps,
+            ),
+        ),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# mixed — simultaneous TCP uploads and UDP downloads, multi-rate
+# ----------------------------------------------------------------------
+def _build_mixed(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 6.0,
+    warmup_s: float = 1.0,
+    n_tcp: int = 2,
+    n_udp: int = 2,
+    udp_mbps: float = 4.0,
+) -> ScenarioSpec:
+    """TCP uploaders and UDP downloaders share one multi-rate cell.
+
+    Rates cycle through the 802.11b ladder across all stations, so the
+    regulator faces ack-clocked *and* open-loop traffic in the same
+    cell — the regime where throughput fairness and time fairness
+    disagree the most.
+    """
+    ladder = (1.0, 11.0, 2.0, 5.5)
+    stations: List[StationSpec] = []
+    flows: List[FlowSpec] = []
+    for i in range(n_tcp):
+        name = f"tcp{i + 1}"
+        stations.append(
+            StationSpec(name, rate_mbps=ladder[i % len(ladder)])
+        )
+        flows.append(FlowSpec(station=name, kind="tcp", direction="up"))
+    for i in range(n_udp):
+        name = f"udp{i + 1}"
+        stations.append(
+            StationSpec(name, rate_mbps=ladder[(n_tcp + i) % len(ladder)])
+        )
+        flows.append(
+            FlowSpec(
+                station=name, kind="udp", direction="down",
+                rate_mbps=udp_mbps,
+            )
+        )
+    return ScenarioSpec(
+        name="mixed",
+        scheduler=scheduler,
+        stations=tuple(stations),
+        flows=tuple(flows),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+def _defaults_of(fn: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
+    import inspect
+
+    return {
+        name: param.default
+        for name, param in inspect.signature(fn).parameters.items()
+    }
+
+
+FAMILIES: Dict[str, ScenarioFamily] = {
+    family.name: family
+    for family in (
+        ScenarioFamily(
+            "churn",
+            "multi-rate guests join and leave through a rotating door",
+            _build_churn,
+            _defaults_of(_build_churn),
+        ),
+        ScenarioFamily(
+            "mobility",
+            "a walker re-rates down the 802.11b ladder and back",
+            _build_mobility,
+            _defaults_of(_build_mobility),
+        ),
+        ScenarioFamily(
+            "bursty",
+            "a fast station's downlink UDP flips on and off",
+            _build_bursty,
+            _defaults_of(_build_bursty),
+        ),
+        ScenarioFamily(
+            "mixed",
+            "TCP uploads and UDP downloads share a multi-rate cell",
+            _build_mixed,
+            _defaults_of(_build_mixed),
+        ),
+    )
+}
+
+
+def build_spec(family: str, **overrides: Any) -> ScenarioSpec:
+    """Compile one family with ``overrides`` applied to its defaults.
+
+    The spec's name records the overrides (``churn[period_s=1.0]``), so
+    sweep results stay tellable apart in renders and job labels.
+    """
+    entry = FAMILIES.get(family)
+    if entry is None:
+        valid = ", ".join(FAMILIES)
+        raise ValueError(
+            f"unknown scenario family {family!r}; valid: {valid}"
+        )
+    unknown = sorted(set(overrides) - set(entry.defaults))
+    if unknown:
+        valid = ", ".join(sorted(entry.defaults))
+        raise ValueError(
+            f"unknown parameter(s) {', '.join(unknown)} for family "
+            f"{family!r}; valid: {valid}"
+        )
+    spec = entry.builder(**{**entry.defaults, **overrides})
+    if overrides:
+        label = ",".join(f"{k}={overrides[k]}" for k in sorted(overrides))
+        spec = dataclasses.replace(spec, name=f"{family}[{label}]")
+    return spec
+
+
+def sweep_specs(
+    family: str,
+    axes: Mapping[str, Sequence[Any]],
+    **base: Any,
+) -> List[ScenarioSpec]:
+    """Cartesian product of ``axes`` over ``family`` (plus fixed ``base``
+    overrides), in deterministic axis order."""
+    if not axes:
+        return [build_spec(family, **base)]
+    empty = [k for k, values in axes.items() if not values]
+    if empty:
+        raise ValueError(
+            f"sweep axis with no values: {', '.join(sorted(empty))} — "
+            "an empty axis would silently produce zero sweep points"
+        )
+    keys = list(axes)
+    specs: List[ScenarioSpec] = []
+    for values in product(*(axes[k] for k in keys)):
+        overrides = dict(base)
+        overrides.update(zip(keys, values))
+        specs.append(build_spec(family, **overrides))
+    return specs

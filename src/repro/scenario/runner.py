@@ -1,0 +1,143 @@
+"""Run scenario specs — serially or as cached campaign jobs.
+
+``run_spec`` compiles and runs one spec in-process and collects the
+paper's quantities (per-station goodput, channel occupancy) plus the
+kernel's event accounting, so every scenario family doubles as a perf
+probe.  ``scenario_job`` wraps a spec as a campaign
+:class:`~repro.campaign.job.Job` — the spec *is* the job config — so
+sweeps fan out across worker processes and land in the on-disk result
+cache exactly like the figure/table reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+from repro.campaign.job import Job, make_job
+from repro.scenario.builder import ScenarioRuntime
+from repro.scenario.spec import ScenarioSpec
+
+#: Executor address for :func:`execute_scenario` (what workers import).
+SCENARIO_EXECUTOR = "repro.scenario.runner:execute_scenario"
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run (picklable, render-stable)."""
+
+    name: str
+    seed: int
+    scheduler: str
+    seconds: float
+    warmup_seconds: float
+    #: goodput per station over the measurement window (Mbps).
+    throughput_mbps: Dict[str, float] = field(default_factory=dict)
+    #: per-flow goodput (burst flows appear under ``name@<n>``).
+    flow_throughput_mbps: Dict[str, float] = field(default_factory=dict)
+    #: fraction of measured time each station occupied the channel.
+    occupancy: Dict[str, float] = field(default_factory=dict)
+    #: uplink rate per station after the timeline ran (Mbps).
+    final_rates_mbps: Dict[str, float] = field(default_factory=dict)
+    timeline_fired: int = 0
+    events_executed: int = 0
+    events_by_category: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_mbps(self) -> float:
+        return sum(self.throughput_mbps.values())
+
+
+def run_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Compile, run and measure one scenario spec."""
+    runtime = ScenarioRuntime(spec)
+    sim = runtime.cell.sim
+    runtime.run()
+    return ScenarioResult(
+        name=spec.name,
+        seed=spec.seed,
+        scheduler=spec.scheduler,
+        seconds=spec.seconds,
+        warmup_seconds=spec.warmup_seconds,
+        throughput_mbps=runtime.cell.station_throughputs_mbps(),
+        flow_throughput_mbps=runtime.cell.throughputs_mbps(),
+        occupancy=runtime.cell.occupancy_fractions(),
+        final_rates_mbps=runtime.station_rates_mbps(),
+        timeline_fired=runtime.timeline_fired,
+        events_executed=sim.events_executed,
+        events_by_category=sim.events_by_category(),
+    )
+
+
+# ----------------------------------------------------------------------
+# campaign integration — the spec is the job config
+# ----------------------------------------------------------------------
+def execute_scenario(params: Dict[str, Any]) -> ScenarioResult:
+    """Job executor: ``params`` carries the (thawed) ScenarioSpec."""
+    spec = params["spec"]
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"scenario job params must carry a ScenarioSpec, "
+            f"got {type(spec).__name__}"
+        )
+    return run_spec(spec)
+
+
+def scenario_job(
+    spec: ScenarioSpec,
+    *,
+    experiment: str = "scenario",
+    key: Optional[Hashable] = None,
+) -> Job:
+    """Describe one :func:`run_spec` call as a campaign job.
+
+    The job's cache digest covers the full spec content, so editing any
+    knob — a rate, a timeline timestamp, the scheduler — invalidates
+    exactly that scenario and nothing else.
+    """
+    return make_job(
+        experiment,
+        spec.name if key is None else key,
+        SCENARIO_EXECUTOR,
+        {"spec": spec},
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_result(result: ScenarioResult) -> str:
+    """ASCII summary: per-station table plus kernel accounting."""
+    # Imported lazily: experiments.common builds its setups through this
+    # package, so a module-level import here would be a cycle.
+    from repro.experiments.common import fmt_table
+
+    rows = []
+    for name in sorted(result.throughput_mbps):
+        rows.append(
+            [
+                name,
+                f"{result.final_rates_mbps.get(name, 0.0):g}",
+                f"{result.throughput_mbps[name]:.3f}",
+                f"{result.occupancy.get(name, 0.0):.3f}",
+            ]
+        )
+    rows.append(["total", "", f"{result.total_mbps:.3f}", ""])
+    table = fmt_table(
+        ["station", "rate(end)", "Mbps", "occupancy"],
+        rows,
+        title=(
+            f"Scenario {result.name} (seed {result.seed}, "
+            f"{result.scheduler}): {result.seconds:g} s measured after "
+            f"{result.warmup_seconds:g} s warm-up"
+        ),
+    )
+    categories = ", ".join(
+        f"{key}={result.events_by_category.get(key, 0)}"
+        for key in ("traffic", "mac", "phy", "timer", "other")
+    )
+    return (
+        f"{table}\n"
+        f"timeline events fired: {result.timeline_fired}\n"
+        f"kernel events: {result.events_executed} ({categories})"
+    )

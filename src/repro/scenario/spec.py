@@ -1,0 +1,313 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is a *complete*, frozen description of one
+single-cell workload: the AP discipline, the stations with their PHY
+rates, the traffic mix (TCP/UDP flows in either direction), and a
+timeline of events that change the cell while it runs — stations
+joining and leaving (churn), rate switches emulating mobility, and
+traffic bursts turning on and off.
+
+Specs are data, not code: the builder (:mod:`repro.scenario.builder`)
+compiles a spec into a ready-to-run :class:`repro.node.cell.Cell`, and
+the campaign subsystem ships specs to worker processes as job configs
+(:func:`repro.campaign.job.freeze` handles the nested dataclasses).
+Identity is *content*: two specs with the same frozen tree compare
+equal, hash equal, and share a digest — which is exactly what makes
+sweep results cacheable and coalescible.
+
+Time convention: ``at_s`` timestamps are simulated seconds measured
+from the start of the run, on the same clock as the warm-up — an event
+at ``at_s=1.0`` in a spec with ``warmup_seconds=3`` fires during the
+warm-up.  Events beyond ``warmup_seconds + seconds`` never fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.tbr import TbrConfig
+from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
+
+SCHEDULERS = ("fifo", "rr", "drr", "tbr")
+FLOW_KINDS = ("tcp", "udp")
+DIRECTIONS = ("up", "down")
+TCP_APPS = ("bulk", "task", "paced")
+
+
+@dataclass(frozen=True)
+class StationSpec:
+    """One client station: a name and its (initial) PHY rates."""
+
+    name: str
+    rate_mbps: float = 11.0
+    #: AP -> station rate; defaults to the uplink rate.
+    downlink_rate_mbps: Optional[float] = None
+    queue_capacity: int = 100
+    cooperate_with_tbr: bool = False
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("station name must be non-empty")
+        if self.rate_mbps <= 0:
+            raise ValueError(f"station {self.name!r}: rate must be positive")
+        if self.downlink_rate_mbps is not None and self.downlink_rate_mbps <= 0:
+            raise ValueError(
+                f"station {self.name!r}: downlink rate must be positive"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"station {self.name!r}: queue capacity must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow attached to a station.
+
+    ``rate_mbps`` is the offered rate for UDP flows and the pacing rate
+    for TCP ``app="paced"`` flows; bulk TCP ignores it (infinite
+    backlog).  ``task_bytes`` sizes a TCP ``app="task"`` transfer.
+    """
+
+    station: str
+    kind: str = "tcp"  # "tcp" | "udp"
+    direction: str = "up"
+    app: str = "bulk"  # tcp only: "bulk" | "task" | "paced"
+    rate_mbps: float = 4.0
+    payload_bytes: int = 1472  # udp datagram payload
+    task_bytes: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.kind not in FLOW_KINDS:
+            raise ValueError(f"flow kind must be one of {FLOW_KINDS}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"flow direction must be one of {DIRECTIONS}")
+        if self.kind == "tcp":
+            if self.app not in TCP_APPS:
+                raise ValueError(f"tcp app must be one of {TCP_APPS}")
+            if self.app == "task" and (
+                self.task_bytes is None or self.task_bytes <= 0
+            ):
+                raise ValueError("task flows need positive task_bytes")
+            if self.app == "paced" and self.rate_mbps <= 0:
+                raise ValueError("paced flows need positive rate_mbps")
+        else:
+            if self.rate_mbps <= 0:
+                raise ValueError("udp flows need positive rate_mbps")
+            if self.payload_bytes <= 0:
+                raise ValueError("udp payload_bytes must be positive")
+
+
+# ----------------------------------------------------------------------
+# timeline events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinEvent:
+    """A station (plus its flows) enters the cell at ``at_s``."""
+
+    at_s: float
+    station: StationSpec
+    flows: Tuple[FlowSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """The station's traffic sources are quiesced at ``at_s``.
+
+    Departure is source-side: no new data is offered, in-flight data
+    drains through the queues normally (a laptop closing its lid still
+    finishes the frames already committed to the air).
+    """
+
+    at_s: float
+    station: str
+
+
+@dataclass(frozen=True)
+class RateSwitchEvent:
+    """The station's PHY rate changes at ``at_s`` (mobility emulation).
+
+    Both directions switch: the station's uplink rate and the AP's
+    downlink rate toward it (``downlink_rate_mbps`` overrides the
+    latter when the two should differ).
+    """
+
+    at_s: float
+    station: str
+    rate_mbps: float
+    downlink_rate_mbps: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TrafficOffEvent:
+    """Quiesce the station's active flows at ``at_s`` (burst gap)."""
+
+    at_s: float
+    station: str
+
+
+@dataclass(frozen=True)
+class TrafficOnEvent:
+    """(Re)start the station's spec'd flows at ``at_s``.
+
+    Each burst instantiates fresh sources under unique flow names
+    (``<station>/<kind>-<direction>@<n>``), so RNG streams — and with
+    them the whole run — stay deterministic across on/off cycles.
+    """
+
+    at_s: float
+    station: str
+
+
+TimelineEvent = Union[
+    JoinEvent, LeaveEvent, RateSwitchEvent, TrafficOffEvent, TrafficOnEvent
+]
+
+
+@dataclass(frozen=True, eq=False)
+class ScenarioSpec:
+    """A complete, content-addressed description of one cell workload.
+
+    Equality and hashing are by *content digest* (the same frozen-tree
+    encoding the campaign cache uses), so specs work as dict keys and
+    dedup naturally even though ``tbr_config`` and ``phy`` are nested
+    dataclasses.
+    """
+
+    name: str
+    scheduler: str = "fifo"
+    tbr_config: Optional[TbrConfig] = None
+    phy: PhyParams = DOT11B_LONG_PREAMBLE
+    stations: Tuple[StationSpec, ...] = ()
+    flows: Tuple[FlowSpec, ...] = ()
+    timeline: Tuple[TimelineEvent, ...] = ()
+    seconds: float = 10.0
+    warmup_seconds: float = 0.0
+    seed: int = 1
+
+    # ------------------------------------------------------------------
+    # content identity
+    # ------------------------------------------------------------------
+    def _frozen_tree(self):
+        from repro.campaign.job import freeze
+
+        return freeze(self)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the frozen spec tree (stable across processes)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(
+                repr(self._frozen_tree()).encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return self.digest == other.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    @property
+    def horizon_s(self) -> float:
+        """Total simulated time (warm-up plus measurement window)."""
+        return self.warmup_seconds + self.seconds
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistency a build would hit.
+
+        Checks static shape *and* timeline causality: an event may only
+        reference a station that exists (initially present or already
+        joined) and has not left before the event fires.
+        """
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} (one of {SCHEDULERS})"
+            )
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+        if self.warmup_seconds < 0:
+            raise ValueError("warmup_seconds must be >= 0")
+
+        present: Dict[str, bool] = {}  # name -> still active
+        for station in self.stations:
+            station.validate()
+            if station.name in present:
+                raise ValueError(f"duplicate station name {station.name!r}")
+            present[station.name] = True
+        for flow in self.flows:
+            flow.validate()
+            if flow.station not in present:
+                raise ValueError(
+                    f"flow references unknown station {flow.station!r}"
+                )
+
+        known_events = (
+            JoinEvent,
+            LeaveEvent,
+            RateSwitchEvent,
+            TrafficOffEvent,
+            TrafficOnEvent,
+        )
+        for event in self.timeline:
+            if not isinstance(event, known_events):
+                raise ValueError(
+                    f"unknown timeline event type {type(event).__name__}"
+                )
+        for event in sorted(self.timeline, key=lambda e: e.at_s):
+            if event.at_s < 0:
+                raise ValueError("timeline event times must be >= 0")
+            if isinstance(event, JoinEvent):
+                event.station.validate()
+                if event.station.name in present:
+                    raise ValueError(
+                        f"join at {event.at_s}s: station "
+                        f"{event.station.name!r} already exists"
+                    )
+                present[event.station.name] = True
+                for flow in event.flows:
+                    flow.validate()
+                    if flow.station != event.station.name:
+                        # The builder files join flows under the joiner
+                        # for later quiesce/burst bookkeeping; a flow on
+                        # another station would silently escape it.
+                        raise ValueError(
+                            f"join at {event.at_s}s: flow must belong to "
+                            f"the joining station {event.station.name!r}, "
+                            f"not {flow.station!r}"
+                        )
+            else:
+                active = present.get(event.station)
+                if active is None:
+                    raise ValueError(
+                        f"timeline event at {event.at_s}s references "
+                        f"unknown station {event.station!r}"
+                    )
+                if not active:
+                    raise ValueError(
+                        f"timeline event at {event.at_s}s: station "
+                        f"{event.station!r} already left"
+                    )
+                if isinstance(event, LeaveEvent):
+                    present[event.station] = False
+                elif isinstance(event, RateSwitchEvent):
+                    if event.rate_mbps <= 0:
+                        raise ValueError("rate switch needs a positive rate")
+                    if (
+                        event.downlink_rate_mbps is not None
+                        and event.downlink_rate_mbps <= 0
+                    ):
+                        raise ValueError(
+                            "rate switch needs a positive downlink rate"
+                        )

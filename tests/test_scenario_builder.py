@@ -1,0 +1,209 @@
+"""Builder semantics: timelines actually change the running cell."""
+
+import pytest
+
+from repro.scenario import (
+    FlowSpec,
+    JoinEvent,
+    LeaveEvent,
+    RateSwitchEvent,
+    ScenarioRuntime,
+    ScenarioSpec,
+    StationSpec,
+    TrafficOffEvent,
+    TrafficOnEvent,
+    run_spec,
+)
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="t",
+        stations=(StationSpec("a", rate_mbps=11.0),),
+        flows=(FlowSpec(station="a", kind="udp", direction="down",
+                        rate_mbps=6.0),),
+        seconds=1.0,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def test_join_adds_a_station_mid_run():
+    spec = make_spec(
+        timeline=(
+            JoinEvent(
+                at_s=0.4,
+                station=StationSpec("late", rate_mbps=1.0),
+                flows=(FlowSpec(station="late", kind="udp",
+                                direction="down", rate_mbps=6.0),),
+            ),
+        ),
+    )
+    runtime = ScenarioRuntime(spec)
+    assert "late" not in runtime.cell.stations
+    runtime.run()
+    assert "late" in runtime.cell.stations
+    assert runtime.timeline_fired == 1
+    thr = runtime.cell.station_throughputs_mbps()
+    assert thr["late"] > 0.0
+    # The latecomer had ~60% of the window; the incumbent got more.
+    assert thr["a"] > thr["late"]
+
+
+def test_leave_quiesces_traffic():
+    half = run_spec(
+        make_spec(timeline=(LeaveEvent(at_s=0.5, station="a"),))
+    )
+    full = run_spec(make_spec())
+    assert half.timeline_fired == 1
+    assert 0.0 < half.throughput_mbps["a"] < 0.7 * full.throughput_mbps["a"]
+
+
+def test_leave_quiesces_tcp_without_stranding_the_sender():
+    spec = make_spec(
+        flows=(FlowSpec(station="a", kind="tcp", direction="up"),),
+        timeline=(LeaveEvent(at_s=0.5, station="a"),),
+    )
+    runtime = ScenarioRuntime(spec)
+    runtime.run()
+    handle = runtime.cell.flows[0]
+    # The application is clamped at the bytes already sent and the
+    # in-flight data drained: nothing left unacknowledged.
+    assert handle.sender.app_limit == handle.sender.snd_nxt
+    assert handle.sender.flight_size == 0
+
+
+def test_rate_switch_changes_both_directions():
+    spec = make_spec(
+        timeline=(RateSwitchEvent(at_s=0.5, station="a", rate_mbps=1.0),),
+    )
+    runtime = ScenarioRuntime(spec)
+    runtime.run()
+    assert runtime.station_rates_mbps() == {"a": 1.0}
+    assert runtime.cell.ap.rate_controller.rate_for("a") == 1.0
+
+
+def test_rate_switch_slows_goodput():
+    fast = run_spec(make_spec(seconds=2.0))
+    switched = run_spec(
+        make_spec(
+            seconds=2.0,
+            timeline=(
+                RateSwitchEvent(at_s=0.2, station="a", rate_mbps=1.0),
+            ),
+        )
+    )
+    assert switched.throughput_mbps["a"] < 0.5 * fast.throughput_mbps["a"]
+
+
+def test_traffic_off_on_creates_fresh_burst_flows():
+    spec = make_spec(
+        seconds=1.5,
+        timeline=(
+            TrafficOffEvent(at_s=0.5, station="a"),
+            TrafficOnEvent(at_s=1.0, station="a"),
+        ),
+    )
+    result = run_spec(spec)
+    assert result.timeline_fired == 2
+    names = sorted(result.flow_throughput_mbps)
+    assert names == ["a/udp-down", "a/udp-down@1"]
+    assert result.flow_throughput_mbps["a/udp-down@1"] > 0.0
+
+
+def test_traffic_on_after_leave_is_a_noop():
+    # validate() rejects this statically, so drive the runtime directly.
+    spec = make_spec()
+    runtime = ScenarioRuntime(spec)
+    runtime._fire(LeaveEvent(at_s=0.0, station="a"))
+    runtime._fire(TrafficOnEvent(at_s=0.1, station="a"))
+    assert runtime._active["a"] == []
+
+
+def test_rate_switch_requires_fixed_rate_controller():
+    from repro.node.rate_control import ArfController
+
+    spec = make_spec()
+    runtime = ScenarioRuntime(spec)
+    runtime.cell.stations["a"].rate_controller = ArfController()
+    with pytest.raises(TypeError, match="FixedRate"):
+        runtime._fire(RateSwitchEvent(at_s=0.0, station="a", rate_mbps=1.0))
+
+
+def test_same_spec_reproduces_identical_results():
+    spec = make_spec(
+        seconds=1.5,
+        stations=(
+            StationSpec("a", rate_mbps=11.0),
+            StationSpec("b", rate_mbps=1.0),
+        ),
+        flows=(
+            FlowSpec(station="a", kind="udp", direction="down",
+                     rate_mbps=6.0),
+            FlowSpec(station="b", kind="tcp", direction="up"),
+        ),
+        timeline=(
+            TrafficOffEvent(at_s=0.5, station="a"),
+            TrafficOnEvent(at_s=0.9, station="a"),
+            RateSwitchEvent(at_s=1.1, station="b", rate_mbps=5.5),
+        ),
+    )
+    first, second = run_spec(spec), run_spec(spec)
+    assert first.throughput_mbps == second.throughput_mbps
+    assert first.occupancy == second.occupancy
+    assert first.events_executed == second.events_executed
+    assert first.events_by_category == second.events_by_category
+
+
+def test_builder_validates_on_construction():
+    with pytest.raises(ValueError, match="unknown station"):
+        ScenarioRuntime(make_spec(flows=(FlowSpec(station="ghost"),)))
+
+
+def test_duplicate_flows_get_distinct_names_and_all_count():
+    spec = make_spec(
+        flows=(
+            FlowSpec(station="a", kind="udp", direction="down",
+                     rate_mbps=2.0),
+            FlowSpec(station="a", kind="udp", direction="down",
+                     rate_mbps=2.0),
+        ),
+    )
+    result = run_spec(spec)
+    assert sorted(result.flow_throughput_mbps) == [
+        "a/udp-down", "a/udp-down#2",
+    ]
+    # Both flows deliver, and the per-flow view sums to the station's.
+    assert all(v > 0 for v in result.flow_throughput_mbps.values())
+    assert sum(result.flow_throughput_mbps.values()) == pytest.approx(
+        result.throughput_mbps["a"]
+    )
+
+
+def test_duplicate_burst_flows_stay_distinct():
+    spec = make_spec(
+        seconds=1.5,
+        flows=(
+            FlowSpec(station="a", kind="udp", direction="down",
+                     rate_mbps=2.0),
+            FlowSpec(station="a", kind="udp", direction="down",
+                     rate_mbps=2.0),
+        ),
+        timeline=(
+            TrafficOffEvent(at_s=0.5, station="a"),
+            TrafficOnEvent(at_s=0.8, station="a"),
+        ),
+    )
+    result = run_spec(spec)
+    assert sorted(result.flow_throughput_mbps) == [
+        "a/udp-down", "a/udp-down#2",
+        "a/udp-down#2@1", "a/udp-down@1",
+    ]
+
+
+def test_timeline_events_count_as_other_category():
+    result = run_spec(
+        make_spec(timeline=(TrafficOffEvent(at_s=0.5, station="a"),))
+    )
+    assert result.events_by_category["other"] == 1

@@ -1,0 +1,149 @@
+"""Scenario family goldens: renders and event budgets are pinned.
+
+Each of the four shipped workload families runs a short, fully
+deterministic configuration; the rendered summary must match the
+stored golden byte for byte, and the kernel-event budget — total and
+per category, timeline events included under ``other`` — must match
+exactly.  A silent change to RNG stream layout, event ordering, flow
+naming or timeline semantics fails here first.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_jobs, serial_results
+from repro.scenario import (
+    build_spec,
+    render_result,
+    run_spec,
+    scenario_job,
+    sweep_specs,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The pinned configuration per family (short horizons, rich timelines).
+GOLDEN_PARAMS = {
+    "churn": dict(
+        seconds=2.0, warmup_s=0.5, period_s=0.5, stay_s=0.75, n_joiners=3
+    ),
+    "mobility": dict(seconds=2.0, warmup_s=0.5, dwell_s=0.4),
+    "bursty": dict(seconds=2.0, warmup_s=0.5, on_s=0.5, off_s=0.5),
+    "mixed": dict(seconds=1.5, warmup_s=0.5),
+}
+
+#: family -> (timeline fired, total events, per-category events).
+PINNED_BUDGETS = {
+    "churn": (
+        6, 5886,
+        {"traffic": 1091, "mac": 2345, "phy": 2193, "timer": 251, "other": 6},
+    ),
+    "mobility": (
+        4, 6718,
+        {"traffic": 1206, "mac": 2734, "phy": 2523, "timer": 251, "other": 4},
+    ),
+    "bursty": (
+        3, 3815,
+        {"traffic": 1162, "mac": 1215, "phy": 1184, "timer": 251, "other": 3},
+    ),
+    "mixed": (
+        0, 4647,
+        {"traffic": 1808, "mac": 1360, "phy": 1279, "timer": 200, "other": 0},
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def family_results():
+    return {
+        family: run_spec(build_spec(family, **params))
+        for family, params in GOLDEN_PARAMS.items()
+    }
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN_PARAMS))
+def test_family_render_matches_golden(family, family_results):
+    rendered = render_result(family_results[family]) + "\n"
+    expected = (GOLDEN_DIR / f"scenario_{family}.txt").read_text()
+    assert rendered == expected
+
+
+@pytest.mark.parametrize("family", sorted(PINNED_BUDGETS))
+def test_family_event_budget_is_pinned(family, family_results):
+    result = family_results[family]
+    fired, total, cats = PINNED_BUDGETS[family]
+    measured = (
+        result.timeline_fired,
+        result.events_executed,
+        result.events_by_category,
+    )
+    assert measured == (fired, total, cats), (
+        "scenario event budget shifted — if intentional, update "
+        f"PINNED_BUDGETS[{family!r}] to {measured!r} and regenerate the "
+        "golden (see tests/test_scenario_golden.py)"
+    )
+
+
+def test_timeline_families_actually_fire_events():
+    fired = {f: PINNED_BUDGETS[f][0] for f in PINNED_BUDGETS}
+    assert fired["churn"] >= 4  # joins and leaves
+    assert fired["mobility"] >= 3  # rate switches
+    assert fired["bursty"] >= 2  # off/on cycles
+
+
+# ----------------------------------------------------------------------
+# campaign integration: specs are the job configs
+# ----------------------------------------------------------------------
+def test_sweep_runs_as_cached_campaign_jobs(tmp_path):
+    specs = sweep_specs(
+        "bursty", {"scheduler": ["fifo", "tbr"]},
+        seconds=1.0, warmup_s=0.25,
+    )
+    jobs = [scenario_job(spec, key=spec.name) for spec in specs]
+    cache = ResultCache(str(tmp_path / "cache"))
+
+    cold = run_jobs(jobs, workers=1, cache=cache)
+    assert cold.stats.executed == 2
+    results = cold.experiment_results("scenario")
+    assert sorted(results) == sorted(spec.name for spec in specs)
+
+    warm = run_jobs(jobs, workers=1, cache=cache)
+    assert warm.stats.executed == 0
+    assert warm.stats.cached == 2
+    warm_results = warm.experiment_results("scenario")
+    for name, result in results.items():
+        assert warm_results[name].throughput_mbps == result.throughput_mbps
+        assert warm_results[name].events_executed == result.events_executed
+
+    # The scheduler axis must actually change the outcome.
+    fifo, tbr = (results[spec.name] for spec in specs)
+    assert fifo.scheduler == "fifo" and tbr.scheduler == "tbr"
+    assert fifo.throughput_mbps != tbr.throughput_mbps
+
+
+def test_scenario_jobs_parallel_matches_serial():
+    specs = sweep_specs(
+        "mixed", {"scheduler": ["fifo", "tbr"]},
+        seconds=0.5, warmup_s=0.1, n_tcp=1, n_udp=1,
+    )
+    jobs = [scenario_job(spec, key=spec.name) for spec in specs]
+    serial = serial_results(jobs)
+    parallel = run_jobs(jobs, workers=2, cache=None).experiment_results(
+        "scenario"
+    )
+    for key, result in parallel.items():
+        assert result.throughput_mbps == serial[key].throughput_mbps
+        assert result.events_by_category == serial[key].events_by_category
+
+
+def test_identical_specs_coalesce():
+    spec = build_spec("bursty", seconds=0.5, warmup_s=0.1)
+    jobs = [
+        scenario_job(spec, key="first"),
+        scenario_job(spec, key="second"),
+    ]
+    outcome = run_jobs(jobs, workers=1, cache=None)
+    assert outcome.stats.executed == 1
+    assert outcome.stats.coalesced == 1
