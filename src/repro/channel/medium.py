@@ -106,12 +106,19 @@ class Channel:
 
         # --- notification snapshots -----------------------------------
         #: attach index per listener (delivery order is attach order).
+        #: Indices are a monotonically increasing sequence, never
+        #: reused, so detaching a listener leaves every other
+        #: listener's delivery position untouched.
         self._attach_index: Dict[int, int] = {}
+        self._attach_seq = 0
         #: carrier-subscribed listeners keyed by attach index.
         self._carrier_subs: Dict[int, ChannelListener] = {}
         self._carrier_snapshot: Tuple[Tuple[Callable, Callable], ...] = ()
         self._carrier_dirty = False
-        #: (index, address, on_frame_end) for every listener, attach order.
+        #: (index, address, on_frame_end) for every attached listener.
+        self._frame_end_entries: Dict[int, Tuple[int, str, Callable]] = {}
+        #: same entries as a tuple in attach order (corrupted/broadcast
+        #: frames are delivered to everyone).
         self._frame_end_snapshot: Tuple[Tuple[int, str, Callable], ...] = ()
         #: listeners receiving *every* frame end, keyed by attach index
         #: (those that did not opt into filtered delivery).
@@ -133,19 +140,47 @@ class Channel:
     def attach(self, listener: ChannelListener) -> None:
         if listener in self.listeners:
             raise ValueError(f"listener {listener!r} already attached")
-        index = len(self.listeners)
+        index = self._attach_seq
+        self._attach_seq += 1
         self.listeners.append(listener)
         self._attach_index[id(listener)] = index
         self._carrier_subs[index] = listener
         self._carrier_dirty = True
         entry = (index, listener.address, listener.on_frame_end)
+        self._frame_end_entries[index] = entry
         self._frame_end_always[index] = entry
         self._rebuild_frame_end_snapshots()
 
+    def detach(self, listener: ChannelListener) -> None:
+        """Remove ``listener`` from every notification structure.
+
+        The inverse of :meth:`attach` (station disassociation): carrier
+        transitions, frame-end deliveries and EIFS bookkeeping all stop.
+        Remaining listeners keep their original delivery positions; a
+        listener attached later (re-association) goes to the end of the
+        delivery order.  A transmission the listener already put on the
+        air still ends normally.  No-op when not attached.
+        """
+        index = self._attach_index.pop(id(listener), None)
+        if index is None:
+            return
+        self.listeners.remove(listener)
+        if self._carrier_subs.pop(index, None) is not None:
+            self._carrier_dirty = True
+        self._frame_end_entries.pop(index, None)
+        self._frame_end_always.pop(index, None)
+        self._eifs_dirty.pop(index, None)
+        entry = self._by_address.get(listener.address)
+        if entry is not None and entry[0] == index:
+            del self._by_address[listener.address]
+        self._rebuild_frame_end_snapshots()
+
+    def is_attached(self, listener: ChannelListener) -> bool:
+        return id(listener) in self._attach_index
+
     def _rebuild_frame_end_snapshots(self) -> None:
         self._frame_end_snapshot = tuple(
-            (i, peer.address, peer.on_frame_end)
-            for i, peer in enumerate(self.listeners)
+            entry for _, entry in sorted(self._frame_end_entries.items())
         )
         self._frame_end_always_snapshot = tuple(
             entry for _, entry in sorted(self._frame_end_always.items())

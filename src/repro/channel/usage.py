@@ -90,6 +90,10 @@ class ChannelUsageMonitor:
     def total_occupancy_us(self) -> float:
         return sum(self._occupancy_us.values())
 
+    def occupancies_us(self) -> Dict[str, float]:
+        """Snapshot of every station's accumulated occupancy time."""
+        return dict(self._occupancy_us)
+
     def stations(self) -> List[str]:
         return sorted(self._occupancy_us)
 

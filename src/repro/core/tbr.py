@@ -121,6 +121,10 @@ class TbrScheduler(ApScheduler):
     # ------------------------------------------------------------------
     def associate(self, station: str) -> None:
         if station in self.buckets:
+            # Re-associating an already-present station must not grant a
+            # second T_init (ASSOCIATEEVENT is idempotent); still clear
+            # a stale departed flag so arrivals are admitted again.
+            super().associate(station)
             return
         super().associate(station)
         self.buckets[station] = TokenBucket(
@@ -131,6 +135,23 @@ class TbrScheduler(ApScheduler):
             now_us=self.sim.now,
         )
         self._reassign_rates()
+
+    def disassociate(self, station: str) -> int:
+        """DISASSOCIATEEVENT: retire the station's bucket and queue.
+
+        The station's queued downlink packets are flushed back to the
+        :class:`PacketPool`, its :class:`TokenBucket` (and uplink
+        activity window) is discarded, and its token rate is returned
+        to the remaining stations by rescaling their rates to sum to
+        1.0 — preserving whatever ratios ADJUSTRATEEVENT has learned
+        instead of parking the freed share at ``min_rate`` forever.
+        """
+        flushed = super().disassociate(station)
+        bucket = self.buckets.pop(station, None)
+        self._uplink_bytes_window.pop(station, None)
+        if bucket is not None and self.buckets:
+            self.adjuster.normalize(list(self.buckets.values()), total=1.0)
+        return flushed
 
     def _weight(self, station: str) -> float:
         return self.config.weights.get(station, 1.0)
@@ -225,6 +246,10 @@ class TbrScheduler(ApScheduler):
     ) -> None:
         bucket = self.buckets.get(station)
         if bucket is None:
+            if station in self._departed:
+                # A frame that was already in the air when its station
+                # disassociated: nobody's tokens to charge.
+                return
             # Uplink from an unassociated station: associate on first use.
             self.associate(station)
             bucket = self.buckets[station]

@@ -22,6 +22,7 @@ from repro.experiments import (
     table3,
     table4,
     ablations,
+    fairness_churn,
 )
 
 REGISTRY = {
@@ -36,6 +37,7 @@ REGISTRY = {
     "table2": table2,
     "table3": table3,
     "table4": table4,
+    "fairness-churn": fairness_churn,
 }
 
 __all__ = [
@@ -52,4 +54,5 @@ __all__ = [
     "table3",
     "table4",
     "ablations",
+    "fairness_churn",
 ]

@@ -43,6 +43,7 @@ from repro.phy.phy import (
     frame_airtime_us,
 )
 from repro.sim import EventCategory, EventPriority, Simulator
+from repro.transport.packet import try_release
 
 #: Tolerance when comparing event timestamps to busy-start timestamps.
 _SLOT_EPS = 1e-6
@@ -225,6 +226,40 @@ class DcfMac:
     ) -> None:
         self.completion_listeners.append(listener)
 
+    def shutdown(self) -> None:
+        """Tear this MAC down (station disassociation).
+
+        Cancels every pending MAC event (backoff countdown, ACK
+        response, ACK timeout), abandons the loaded frame — releasing a
+        pooled packet back to its freelist — and detaches from the
+        channel, so no further carrier or frame notifications reach
+        this entity.  A frame this MAC already put on the air still
+        ends normally at the channel (its peers observe the frame end);
+        the exchange itself is simply never completed.  Idempotent.
+        """
+        self._cancel_countdown()
+        self._backoff_active = False
+        self._bo_slots = 0
+        if self._ack_timeout_event is not None:
+            self._ack_timeout_event.cancel()
+            self._ack_timeout_event = None
+        if self._ack_tx_event is not None:
+            self._ack_tx_event.cancel()
+            self._ack_tx_event = None
+        self._awaiting_ack_for = None
+        self._burst_remaining = 0
+        self._burst_continuation = False
+        frame = self._current
+        self._current = None
+        if frame is not None and frame.packet is not None and not self._transmitting:
+            # A frame still on the air is delivered to its destination
+            # at frame end — its packet must not be recycled under the
+            # receiver; abandoning it to the GC is the safe loss.
+            try_release(frame.packet)
+        self._transmitting = False
+        self.scheduler = None
+        self.channel.detach(self)
+
     def rate_for(self, dst: str) -> float:
         if self._rate_provider is not None:
             return self._rate_provider(dst)
@@ -401,7 +436,8 @@ class DcfMac:
     def _broadcast_done(self) -> None:
         self._transmitting = False
         frame = self._current
-        assert frame is not None
+        if frame is None:
+            return  # shut down while the broadcast was in the air
         self._finish_exchange(frame, success=True)
 
     def _ack_timeout(self) -> None:

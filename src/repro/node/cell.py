@@ -28,7 +28,7 @@ from repro.channel.medium import Channel
 from repro.channel.usage import ChannelUsageMonitor
 from repro.core.tbr import TbrConfig, TbrScheduler
 from repro.node.access_point import AccessPoint
-from repro.node.rate_control import RateController
+from repro.node.rate_control import FixedRate, RateController
 from repro.node.station import Station
 from repro.node.wired_host import WiredHost
 from repro.phy.phy import DOT11B_LONG_PREAMBLE, PhyParams
@@ -157,6 +157,32 @@ class Cell:
             except TypeError:
                 pass  # AP uses its own adaptive controller
         return station
+
+    def remove_station(self, name: str) -> None:
+        """Tear a station down end to end (true disassociation).
+
+        The inverse of :meth:`add_station`: the AP scheduler
+        disassociates the station (flushing its queued downlink
+        packets back to the packet pool; under TBR its token bucket is
+        retired and its rate redistributed), the station's MAC cancels
+        its pending events and detaches from the channel, and the AP's
+        pinned downlink rate entry is dropped.  Flow handles already
+        created for the station stay in :attr:`flows` (their delivered
+        bytes are history) but stop accumulating.  Traffic sources are
+        *not* stopped here — quiesce them first (the scenario builder
+        does).  Unknown names are a no-op, so a double remove is safe.
+
+        Re-adding the same name later is a fresh association: a new
+        station object, a new queue, and (under TBR) a new initial
+        token grant.
+        """
+        station = self.stations.pop(name, None)
+        if station is None:
+            return
+        self.scheduler.disassociate(name)
+        station.shutdown()
+        if isinstance(self.ap.rate_controller, FixedRate):
+            self.ap.rate_controller.table.pop(name, None)
 
     # ------------------------------------------------------------------
     # usage accounting (true occupancy, both directions)
@@ -368,8 +394,16 @@ class Cell:
     def measured_us(self) -> float:
         return self.sim.now - self._measure_start_us
 
+    # Empty-window convention: before :meth:`run` has advanced past the
+    # warm-up, ``measured_us`` is 0 and every per-window metric below
+    # reports 0.0 — uniformly, never a ZeroDivisionError.  The explicit
+    # guards keep the contract visible (and independent of how the
+    # underlying monitors handle degenerate denominators).
     def throughputs_mbps(self) -> Dict[str, float]:
-        """Per-flow goodput over the measurement window."""
+        """Per-flow goodput over the measurement window (0.0 each when
+        the window is empty)."""
+        if self.measured_us <= 0:
+            return {f.name: 0.0 for f in self.flows}
         return {
             f.name: f.stats.throughput_mbps(self.measured_us) for f in self.flows
         }
@@ -378,22 +412,42 @@ class Cell:
         return sum(self.throughputs_mbps().values())
 
     def station_throughputs_mbps(self) -> Dict[str, float]:
-        """Goodput summed per station."""
+        """Goodput summed per station (0.0 each on an empty window)."""
         result: Dict[str, float] = {}
+        measured = self.measured_us
         for flow in self.flows:
             key = flow.station.address
-            result[key] = result.get(key, 0.0) + flow.stats.throughput_mbps(
-                self.measured_us
+            gained = (
+                flow.stats.throughput_mbps(measured) if measured > 0 else 0.0
             )
+            result[key] = result.get(key, 0.0) + gained
         return result
 
+    def _occupancy_keys(self) -> List[str]:
+        """Stations an occupancy report must cover: the currently
+        associated ones (insertion order) plus any departed station
+        that still has attributed airtime in the window — a guest that
+        transmitted and then truly left must not report 0.000."""
+        keys = list(self.stations)
+        present = set(keys)
+        keys.extend(s for s in self.usage.stations() if s not in present)
+        return keys
+
     def occupancy_fractions(self) -> Dict[str, float]:
-        """Per-station channel occupancy as a fraction of elapsed time."""
+        """Per-station channel occupancy as a fraction of elapsed time
+        (0.0 each when the measurement window is empty)."""
+        if self.measured_us <= 0:
+            return {s: 0.0 for s in self._occupancy_keys()}
         return {
             s: self.usage.fraction_of_time(s, self.measured_us)
-            for s in self.stations
+            for s in self._occupancy_keys()
         }
 
     def occupancy_shares(self) -> Dict[str, float]:
-        """Per-station share of the total attributed channel time."""
-        return {s: self.usage.fraction_of_busy(s) for s in self.stations}
+        """Per-station share of the total attributed channel time (0.0
+        each when the measurement window is empty)."""
+        if self.measured_us <= 0:
+            return {s: 0.0 for s in self._occupancy_keys()}
+        return {
+            s: self.usage.fraction_of_busy(s) for s in self._occupancy_keys()
+        }

@@ -83,6 +83,19 @@ class Station:
         self.tx_packets += 1
         return self.queue.enqueue(packet)
 
+    def shutdown(self) -> None:
+        """Disassociate: silence the MAC and drop queued uplink traffic.
+
+        The MAC cancels its pending events and detaches from the
+        channel; packets still sitting in the transmit queue are
+        discarded (a closed laptop lid takes its queue with it).
+        Transport endpoints that keep offering traffic afterwards fill
+        a dead queue — quiesce flows first for a clean teardown.
+        """
+        self.queue.queue.clear()
+        self.queue.mac = None
+        self.mac.shutdown()
+
     # ------------------------------------------------------------------
     # MAC callbacks
     # ------------------------------------------------------------------

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.transport.packet import try_release
 
 
 class StationQueue:
@@ -79,6 +81,17 @@ class ApScheduler:
         self.queues: Dict[str, StationQueue] = {}
         self._order: List[str] = []
         self._rr_index = 0
+        #: stations that explicitly disassociated; arrivals for them are
+        #: refused instead of lazily re-associating (a late wired-pipe
+        #: packet must not resurrect a departed station's queue).
+        self._departed: Set[str] = set()
+        #: drop counts of queues that no longer exist (keeps ``dropped``
+        #: monotonic across disassociations).
+        self._departed_dropped = 0
+        #: arrivals refused because their station had disassociated.
+        self.refused_departed = 0
+        #: packets flushed (and released) by :meth:`disassociate`.
+        self.flushed_on_disassociate = 0
         #: (packet, airtime_us, success, attempts, rate) listeners.
         self.completion_listeners: List[Callable] = []
 
@@ -87,10 +100,43 @@ class ApScheduler:
     # ------------------------------------------------------------------
     def associate(self, station: str) -> None:
         """Create the station's queue (the paper's ASSOCIATEEVENT)."""
+        self._departed.discard(station)
         if station in self.queues:
             return
         self._order.append(station)
         self._rebuild_queues()
+
+    def disassociate(self, station: str) -> int:
+        """Tear the station's queue down (the inverse of ASSOCIATEEVENT).
+
+        Queued packets are flushed back to their :class:`PacketPool`
+        (``packet.release()``; plain packets are simply dropped), the
+        shared buffer is re-divided among the remaining stations, and
+        subsequent arrivals for the station are refused until it
+        explicitly re-associates.  Returns the number of packets
+        flushed; unknown or already-departed stations are a no-op.
+        """
+        queue = self.queues.pop(station, None)
+        if queue is None:
+            return 0
+        idx = self._order.index(station)
+        del self._order[idx]
+        # Keep the round-robin cursor pointing at the same survivor.
+        if idx < self._rr_index:
+            self._rr_index -= 1
+        self._rr_index = self._rr_index % len(self._order) if self._order else 0
+        self._departed.add(station)
+        self._departed_dropped += queue.dropped
+        flushed = len(queue.queue)
+        self.flushed_on_disassociate += flushed
+        for packet in queue.queue:
+            try_release(packet)
+        queue.queue.clear()
+        self._rebuild_queues()
+        return flushed
+
+    def is_associated(self, station: str) -> bool:
+        return station in self.queues
 
     def _station_capacity(self) -> int:
         if self.per_station_capacity is not None:
@@ -121,6 +167,9 @@ class ApScheduler:
         """APPTXEVENT: queue a downlink packet for its station."""
         station = packet.station
         if station not in self.queues:
+            if station in self._departed:
+                self.refused_departed += 1
+                return False
             self.associate(station)
         ok = self.queues[station].push(packet)
         if ok and self.mac is not None:
@@ -139,6 +188,8 @@ class ApScheduler:
         the next enqueue/dequeue on this scheduler.
         """
         if station not in self.queues:
+            if station in self._departed:
+                return False
             self.associate(station)
         return self.queues[station].has_room()
 
@@ -149,7 +200,14 @@ class ApScheduler:
         equivalent of ``enqueue`` returning ``False``: the same counters
         move, but no packet object ever existed.
         """
-        self.queues[station].count_drop()
+        queue = self.queues.get(station)
+        if queue is None:
+            # Only a genuinely departed station counts as a refusal; a
+            # never-associated name here is a caller bug, not a drop.
+            if station in self._departed:
+                self.refused_departed += 1
+            return
+        queue.count_drop()
 
     def on_uplink_complete(
         self, station: str, airtime_us: float, *, attempts: int = 1,
@@ -198,4 +256,7 @@ class ApScheduler:
         return sum(len(q) for q in self.queues.values())
 
     def dropped(self) -> int:
-        return sum(q.dropped for q in self.queues.values())
+        return self._departed_dropped + sum(
+            q.dropped for q in self.queues.values()
+        )
+

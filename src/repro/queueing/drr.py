@@ -36,6 +36,21 @@ class DrrScheduler(ApScheduler):
         super().associate(station)
         self.deficit.setdefault(station, 0.0)
 
+    def disassociate(self, station: str) -> int:
+        # If the departing station was the one under the round-robin
+        # cursor, its visit ends with it: the successor the base class
+        # repoints the cursor at must start a fresh visit (and receive
+        # its quantum grant), not inherit a half-spent one.
+        was_under_cursor = (
+            station in self.queues
+            and self._order[self._rr_index % len(self._order)] == station
+        )
+        flushed = super().disassociate(station)
+        if was_under_cursor:
+            self._visit_granted = False
+        self.deficit.pop(station, None)
+        return flushed
+
     def _advance(self) -> None:
         self._rr_index = (self._rr_index + 1) % max(1, len(self._order))
         self._visit_granted = False

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Any, Optional
 
 from repro.queueing.base import ApScheduler, StationQueue
+from repro.transport.packet import try_release
 
 
 class ApFifoScheduler(ApScheduler):
@@ -23,8 +24,27 @@ class ApFifoScheduler(ApScheduler):
         self._fifo: deque = deque()
         self.fifo_dropped = 0
 
+    def disassociate(self, station: str) -> int:
+        """Drop the station and purge its packets from the shared FIFO."""
+        if station not in self.queues:
+            return 0
+        flushed = super().disassociate(station)  # bookkeeping; queue empty
+        kept: deque = deque()
+        for packet in self._fifo:
+            if packet.station == station:
+                flushed += 1
+                self.flushed_on_disassociate += 1
+                try_release(packet)
+            else:
+                kept.append(packet)
+        self._fifo = kept
+        return flushed
+
     def enqueue(self, packet: Any) -> bool:
         if packet.station not in self.queues:
+            if packet.station in self._departed:
+                self.refused_departed += 1
+                return False
             self.associate(packet.station)
         if len(self._fifo) >= self.total_capacity:
             self.fifo_dropped += 1
@@ -36,10 +56,16 @@ class ApFifoScheduler(ApScheduler):
 
     def admits(self, station: str) -> bool:
         if station not in self.queues:
+            if station in self._departed:
+                return False
             self.associate(station)
         return len(self._fifo) < self.total_capacity
 
     def drop_arrival(self, station: str) -> None:
+        if station not in self.queues:
+            if station in self._departed:
+                self.refused_departed += 1
+            return
         self.fifo_dropped += 1
 
     def has_pending(self) -> bool:

@@ -14,10 +14,19 @@ inside the run:
 * **join** — ``Cell.add_station`` plus the event's flows, mid-air; the
   paper's ASSOCIATEEVENT path handles mid-run association (TBR grants
   the initial token allotment at that moment).
-* **leave** / **traffic off** — the station's sources are *quiesced*:
-  UDP sources stop at the current instant, TCP senders have their
-  application clamped at the bytes already handed to the network
-  (in-flight data drains normally; nothing new is offered).
+* **leave** — true disassociation: sources are quiesced (UDP stops,
+  TCP applications are clamped at the bytes already handed to the
+  network), then ``Cell.remove_station`` tears down MAC state, channel
+  subscriptions, the AP-side queue (flushing queued packets back to
+  the pool) and — under TBR — the token bucket, whose rate is
+  redistributed to the remaining stations.
+* **rejoin** — the departed station's original spec is revived as a
+  fresh association (new MAC, new queue, one new ``T_init`` grant
+  under TBR) and its flows restart under ``@r<n>`` identities, so
+  every rejoin draws from its own named RNG streams.
+* **traffic off** — the station's sources are *quiesced* only: nothing
+  new is offered, in-flight data drains normally, and the association
+  (queue, tokens, subscriptions) stays alive.
 * **rate switch** — the station's ``FixedRate`` controller and the
   AP's downlink rate toward it are repointed; the next MAC exchange
   uses the new rate, like a NIC stepping its modulation.
@@ -37,6 +46,7 @@ from repro.scenario.spec import (
     JoinEvent,
     LeaveEvent,
     RateSwitchEvent,
+    RejoinEvent,
     ScenarioSpec,
     StationSpec,
     TrafficOffEvent,
@@ -62,7 +72,10 @@ class ScenarioRuntime:
         self._active: Dict[str, List[FlowHandle]] = {}
         #: the spec flows a ``traffic on`` burst re-instantiates.
         self._spec_flows: Dict[str, List[FlowSpec]] = {}
+        #: the original station specs, kept for rejoin revival.
+        self._station_specs: Dict[str, StationSpec] = {}
         self._burst_seq: Dict[str, int] = {}
+        self._rejoin_seq: Dict[str, int] = {}
         self._departed: Set[str] = set()
         self.timeline_fired = 0
 
@@ -92,6 +105,7 @@ class ScenarioRuntime:
             queue_capacity=station.queue_capacity,
             cooperate_with_tbr=station.cooperate_with_tbr,
         )
+        self._station_specs[station.name] = station
         self._spec_flows[station.name] = list(flows)
         self._active[station.name] = []
         for flow, name in zip(flows, self._flow_names(flows)):
@@ -155,8 +169,9 @@ class ScenarioRuntime:
         if isinstance(event, JoinEvent):
             self._add_station(event.station, list(event.flows))
         elif isinstance(event, LeaveEvent):
-            self._quiesce_station(event.station)
-            self._departed.add(event.station)
+            self._leave(event.station)
+        elif isinstance(event, RejoinEvent):
+            self._rejoin(event.station)
         elif isinstance(event, RateSwitchEvent):
             self._switch_rate(event)
         elif isinstance(event, TrafficOffEvent):
@@ -165,6 +180,35 @@ class ScenarioRuntime:
             self._burst_on(event.station)
         else:  # pragma: no cover - spec.validate() rejects unknown kinds
             raise TypeError(f"unknown timeline event {event!r}")
+
+    def _leave(self, name: str) -> None:
+        """True disassociation: quiesce sources, then tear down."""
+        self._quiesce_station(name)
+        self._departed.add(name)
+        self.cell.remove_station(name)
+
+    def _rejoin(self, name: str) -> None:
+        """Revive a departed station from its original spec."""
+        self._departed.discard(name)
+        seq = self._rejoin_seq.get(name, 0) + 1
+        self._rejoin_seq[name] = seq
+        self._add_rejoined_station(name, seq)
+
+    def _add_rejoined_station(self, name: str, seq: int) -> None:
+        spec = self._station_specs[name]
+        self.cell.add_station(
+            spec.name,
+            rate_mbps=spec.rate_mbps,
+            downlink_rate_mbps=spec.downlink_rate_mbps,
+            queue_capacity=spec.queue_capacity,
+            cooperate_with_tbr=spec.cooperate_with_tbr,
+        )
+        self._active[name] = []
+        flows = self._spec_flows.get(name, [])
+        for flow, flow_name in zip(
+            flows, self._flow_names(flows, suffix=f"@r{seq}")
+        ):
+            self._start_flow(flow, name=flow_name)
 
     def _quiesce_station(self, name: str) -> None:
         for handle in self._active.get(name, ()):

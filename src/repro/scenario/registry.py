@@ -16,7 +16,10 @@ scheduler*:
 * ``bursty``   — a fast station's downlink UDP flips on and off against
   a slow steady uploader;
 * ``mixed``    — simultaneous TCP uploads and UDP downloads across a
-  multi-rate cell.
+  multi-rate cell;
+* ``fairness-churn`` — a slow station truly disassociates mid-run and
+  rejoins later, splitting the run into three phases whose occupancy
+  shares must each converge to 1/n_active.
 """
 
 from __future__ import annotations
@@ -24,13 +27,14 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from itertools import product
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenario.spec import (
     FlowSpec,
     JoinEvent,
     LeaveEvent,
     RateSwitchEvent,
+    RejoinEvent,
     ScenarioSpec,
     StationSpec,
     TrafficOffEvent,
@@ -254,6 +258,84 @@ def _build_mixed(
     )
 
 
+# ----------------------------------------------------------------------
+# fairness-churn — a true leave and rejoin split the run into phases
+# ----------------------------------------------------------------------
+def fairness_churn_phases(
+    seconds: float,
+    warmup_s: float,
+    leave_at_s: Optional[float] = None,
+    rejoin_at_s: Optional[float] = None,
+) -> Tuple[float, float, float, float]:
+    """Phase boundaries of the fairness-churn run, in run-clock seconds.
+
+    Returns ``(start, leave, rejoin, horizon)``: the measurement window
+    ``[start, horizon)`` split into *before* ``[start, leave)``,
+    *away* ``[leave, rejoin)`` and *after* ``[rejoin, horizon)``.
+    Unset boundaries default to equal thirds of the measurement window,
+    so shrinking ``seconds`` shrinks all three phases together.
+    """
+    start = warmup_s
+    horizon = warmup_s + seconds
+    leave = warmup_s + seconds / 3.0 if leave_at_s is None else leave_at_s
+    rejoin = (
+        warmup_s + 2.0 * seconds / 3.0 if rejoin_at_s is None else rejoin_at_s
+    )
+    if not start <= leave < rejoin < horizon:
+        raise ValueError(
+            f"fairness-churn phases must satisfy warmup <= leave < rejoin "
+            f"< horizon, got leave={leave!r}, rejoin={rejoin!r} in "
+            f"[{start!r}, {horizon!r})"
+        )
+    return start, leave, rejoin, horizon
+
+
+def _build_fairness_churn(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 9.0,
+    warmup_s: float = 1.0,
+    n_peers: int = 3,
+    peer_rate: float = 11.0,
+    leaver_rate: float = 1.0,
+    leave_at_s: Optional[float] = None,
+    rejoin_at_s: Optional[float] = None,
+) -> ScenarioSpec:
+    """A slow uploader truly leaves mid-run and rejoins later.
+
+    ``n_peers`` fast TCP uploaders share the cell with one slow
+    station ("leaver").  At ``leave_at_s`` the leaver *disassociates*
+    — MAC torn down, queue flushed, TBR rate redistributed — and at
+    ``rejoin_at_s`` it re-associates (fresh token grant) and resumes
+    uploading.  Unset times default to thirds of the measurement
+    window, so the run divides into equal before/away/after phases.
+    Per-phase occupancy shares are the paper's fairness claim under
+    dynamic membership: each must converge to 1/n_active.
+    """
+    _, leave, rejoin, _ = fairness_churn_phases(
+        seconds, warmup_s, leave_at_s, rejoin_at_s
+    )
+    stations = [StationSpec("leaver", rate_mbps=leaver_rate)]
+    flows = [FlowSpec(station="leaver", kind="tcp", direction="up")]
+    for i in range(n_peers):
+        name = f"peer{i + 1}"
+        stations.append(StationSpec(name, rate_mbps=peer_rate))
+        flows.append(FlowSpec(station=name, kind="tcp", direction="up"))
+    return ScenarioSpec(
+        name="fairness-churn",
+        scheduler=scheduler,
+        stations=tuple(stations),
+        flows=tuple(flows),
+        timeline=(
+            LeaveEvent(at_s=leave, station="leaver"),
+            RejoinEvent(at_s=rejoin, station="leaver"),
+        ),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
 def _defaults_of(fn: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
     import inspect
 
@@ -289,6 +371,12 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             "TCP uploads and UDP downloads share a multi-rate cell",
             _build_mixed,
             _defaults_of(_build_mixed),
+        ),
+        ScenarioFamily(
+            "fairness-churn",
+            "a slow station truly disassociates mid-run and rejoins",
+            _build_fairness_churn,
+            _defaults_of(_build_fairness_churn),
         ),
     )
 }

@@ -114,11 +114,33 @@ class JoinEvent:
 
 @dataclass(frozen=True)
 class LeaveEvent:
-    """The station's traffic sources are quiesced at ``at_s``.
+    """The station truly disassociates at ``at_s``.
 
-    Departure is source-side: no new data is offered, in-flight data
-    drains through the queues normally (a laptop closing its lid still
-    finishes the frames already committed to the air).
+    Departure runs through every layer: traffic sources are quiesced
+    (no new data offered), then :meth:`repro.node.cell.Cell.
+    remove_station` tears the station down — its MAC cancels pending
+    events and detaches from the channel, the AP scheduler flushes the
+    station's queued downlink packets back to the packet pool, and
+    under TBR the token bucket is retired with its rate redistributed
+    to the remaining stations.  A frame already committed to the air
+    still ends normally; everything else is abandoned.  Use
+    :class:`TrafficOffEvent` for a source-side pause that keeps the
+    association alive.
+    """
+
+    at_s: float
+    station: str
+
+
+@dataclass(frozen=True)
+class RejoinEvent:
+    """A previously-departed station re-associates at ``at_s``.
+
+    The original :class:`StationSpec` is revived as a fresh station
+    (new MAC state, new queue, and — under TBR — a fresh
+    ``initial_tokens_us`` grant, exactly once) and its spec'd flows are
+    re-instantiated under ``<name>@r<n>`` identities so RNG streams
+    stay deterministic across leave/rejoin cycles.
     """
 
     at_s: float
@@ -162,7 +184,12 @@ class TrafficOnEvent:
 
 
 TimelineEvent = Union[
-    JoinEvent, LeaveEvent, RateSwitchEvent, TrafficOffEvent, TrafficOnEvent
+    JoinEvent,
+    LeaveEvent,
+    RejoinEvent,
+    RateSwitchEvent,
+    TrafficOffEvent,
+    TrafficOnEvent,
 ]
 
 
@@ -256,6 +283,7 @@ class ScenarioSpec:
         known_events = (
             JoinEvent,
             LeaveEvent,
+            RejoinEvent,
             RateSwitchEvent,
             TrafficOffEvent,
             TrafficOnEvent,
@@ -294,6 +322,14 @@ class ScenarioSpec:
                         f"timeline event at {event.at_s}s references "
                         f"unknown station {event.station!r}"
                     )
+                if isinstance(event, RejoinEvent):
+                    if active:
+                        raise ValueError(
+                            f"rejoin at {event.at_s}s: station "
+                            f"{event.station!r} never left"
+                        )
+                    present[event.station] = True
+                    continue
                 if not active:
                     raise ValueError(
                         f"timeline event at {event.at_s}s: station "

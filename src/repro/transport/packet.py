@@ -87,6 +87,18 @@ class Packet:
         return f"<Packet #{self.uid} {self.size_bytes}B sta={self.station} {direction}>"
 
 
+def try_release(packet: Any) -> None:
+    """Return ``packet`` to its pool when it supports ``release()``.
+
+    Queues, schedulers and MACs are duck-typed: tests feed them minimal
+    packet stand-ins without a freelist, so teardown paths release
+    through this helper instead of assuming the attribute exists.
+    """
+    release = getattr(packet, "release", None)
+    if release is not None:
+        release()
+
+
 class PacketPool:
     """A bounded freelist of spent :class:`Packet` objects.
 

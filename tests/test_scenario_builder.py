@@ -60,18 +60,53 @@ def test_leave_quiesces_traffic():
     assert 0.0 < half.throughput_mbps["a"] < 0.7 * full.throughput_mbps["a"]
 
 
-def test_leave_quiesces_tcp_without_stranding_the_sender():
+def test_leave_truly_disassociates_the_station():
     spec = make_spec(
         flows=(FlowSpec(station="a", kind="tcp", direction="up"),),
         timeline=(LeaveEvent(at_s=0.5, station="a"),),
     )
     runtime = ScenarioRuntime(spec)
     runtime.run()
-    handle = runtime.cell.flows[0]
-    # The application is clamped at the bytes already sent and the
-    # in-flight data drained: nothing left unacknowledged.
+    cell = runtime.cell
+    handle = cell.flows[0]
+    # The application was clamped before teardown: nothing new offered.
     assert handle.sender.app_limit == handle.sender.snd_nxt
-    assert handle.sender.flight_size == 0
+    # ...and the station is gone from every layer: cell, AP scheduler,
+    # channel.  (In-flight data is abandoned, not drained — a vanished
+    # laptop cannot ACK.)
+    assert "a" not in cell.stations
+    assert not cell.scheduler.is_associated("a")
+    assert cell.scheduler.backlog("a") == 0
+    assert all(lis.address != "a" for lis in cell.channel.listeners)
+
+
+def test_rejoin_revives_the_station_with_fresh_flows():
+    from repro.scenario import RejoinEvent
+
+    spec = make_spec(
+        seconds=1.5,
+        timeline=(
+            LeaveEvent(at_s=0.5, station="a"),
+            RejoinEvent(at_s=1.0, station="a"),
+        ),
+    )
+    first = run_spec(spec)
+    assert first.timeline_fired == 2
+    # The restart runs under its own @r1 identity and actually delivers.
+    assert sorted(first.flow_throughput_mbps) == [
+        "a/udp-down", "a/udp-down@r1",
+    ]
+    assert first.flow_throughput_mbps["a/udp-down@r1"] > 0.0
+    # The rejoined station is fully associated again...
+    runtime = ScenarioRuntime(spec)
+    runtime.run()
+    assert "a" in runtime.cell.stations
+    assert runtime.cell.scheduler.is_associated("a")
+    # ...and the leave/rejoin cycle is deterministic end to end.
+    second = run_spec(spec)
+    assert first.throughput_mbps == second.throughput_mbps
+    assert first.events_executed == second.events_executed
+    assert first.events_by_category == second.events_by_category
 
 
 def test_rate_switch_changes_both_directions():

@@ -32,13 +32,14 @@ GOLDEN_PARAMS = {
     "mobility": dict(seconds=2.0, warmup_s=0.5, dwell_s=0.4),
     "bursty": dict(seconds=2.0, warmup_s=0.5, on_s=0.5, off_s=0.5),
     "mixed": dict(seconds=1.5, warmup_s=0.5),
+    "fairness-churn": dict(seconds=2.4, warmup_s=0.5),
 }
 
 #: family -> (timeline fired, total events, per-category events).
 PINNED_BUDGETS = {
     "churn": (
-        6, 5886,
-        {"traffic": 1091, "mac": 2345, "phy": 2193, "timer": 251, "other": 6},
+        6, 6297,
+        {"traffic": 1162, "mac": 2524, "phy": 2354, "timer": 251, "other": 6},
     ),
     "mobility": (
         4, 6718,
@@ -51,6 +52,10 @@ PINNED_BUDGETS = {
     "mixed": (
         0, 4647,
         {"traffic": 1808, "mac": 1360, "phy": 1279, "timer": 200, "other": 0},
+    ),
+    "fairness-churn": (
+        2, 8906,
+        {"traffic": 1640, "mac": 3663, "phy": 3310, "timer": 291, "other": 2},
     ),
 }
 
@@ -91,6 +96,20 @@ def test_timeline_families_actually_fire_events():
     assert fired["churn"] >= 4  # joins and leaves
     assert fired["mobility"] >= 3  # rate switches
     assert fired["bursty"] >= 2  # off/on cycles
+    assert fired["fairness-churn"] == 2  # one leave, one rejoin
+
+
+def test_fairness_churn_tears_down_and_rejoins(family_results):
+    # The golden run's leaver truly left and came back: it must be
+    # associated again at the end with zero retained departed-state.
+    result = family_results["fairness-churn"]
+    assert result.throughput_mbps["leaver"] > 0.0
+    assert "leaver" in result.final_rates_mbps  # present at end (rejoined)
+    # The leaver's flows appear twice: original plus the @r1 restart.
+    assert sorted(
+        name for name in result.flow_throughput_mbps if "leaver" in name
+    ) == ["leaver/tcp-up", "leaver/tcp-up@r1"]
+    assert result.flow_throughput_mbps["leaver/tcp-up@r1"] > 0.0
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ from repro.scenario import (
     JoinEvent,
     LeaveEvent,
     RateSwitchEvent,
+    RejoinEvent,
     ScenarioSpec,
     StationSpec,
     TrafficOffEvent,
@@ -187,6 +188,38 @@ def test_validate_tracks_timeline_causality():
             JoinEvent(at_s=0.2, station=StationSpec("late")),
         )
     ).validate()
+
+
+def test_validate_tracks_rejoin_causality():
+    # A full leave -> rejoin -> leave cycle is legal, and events after
+    # the rejoin may reference the station again.
+    two_station_spec(
+        timeline=(
+            LeaveEvent(at_s=0.1, station="slow"),
+            RejoinEvent(at_s=0.3, station="slow"),
+            RateSwitchEvent(at_s=0.5, station="slow", rate_mbps=2.0),
+            LeaveEvent(at_s=0.7, station="slow"),
+        )
+    ).validate()
+    # Rejoining a station that never left is an error...
+    with pytest.raises(ValueError, match="never left"):
+        two_station_spec(
+            timeline=(RejoinEvent(at_s=0.1, station="slow"),)
+        ).validate()
+    # ...as is rejoining an unknown name...
+    with pytest.raises(ValueError, match="unknown station"):
+        two_station_spec(
+            timeline=(RejoinEvent(at_s=0.1, station="ghost"),)
+        ).validate()
+    # ...or re-joining a departed name via JoinEvent (RejoinEvent is
+    # the revival path; the original spec is reused).
+    with pytest.raises(ValueError, match="already exists"):
+        two_station_spec(
+            timeline=(
+                LeaveEvent(at_s=0.1, station="slow"),
+                JoinEvent(at_s=0.3, station=StationSpec("slow")),
+            )
+        ).validate()
 
 
 def test_validate_rejects_foreign_timeline_objects():

@@ -426,6 +426,14 @@ def test_saturated_cell_drops_cost_no_allocations():
     # ...but the allocator was only touched for the small working set.
     assert pool.allocated < admitted / 2
     assert pool.reused > 0 and pool.recycled > 0
+    # Disassociation flushes the queued backlog back to the pool: after
+    # it, every packet ever handed out has been returned — no leak —
+    # except the one frame the AP MAC may still hold mid-exchange.
+    backlog = cell.scheduler.backlog("n1")
+    assert backlog > 0
+    cell.remove_station("n1")
+    in_flight = 1 if cell.ap.mac.busy_with_frame else 0
+    assert pool.recycled == pool.allocated + pool.reused - in_flight
 
 
 def test_pool_reuse_does_not_leak_payload_state_across_flows():
