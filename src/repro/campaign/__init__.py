@@ -6,11 +6,21 @@ deterministically by job key.  The building blocks:
 
 * :mod:`repro.campaign.job` — hashable, picklable job descriptors with
   a content-addressed digest (config hash + schema salt);
-* :mod:`repro.campaign.cache` — on-disk result cache keyed by digest,
-  so re-running a campaign never recomputes a finished job;
-* :mod:`repro.campaign.executor` — serial and ``multiprocessing``
+* :mod:`repro.campaign.cache` — on-disk result cache keyed by digest
+  with checksummed entries, so re-running a campaign never recomputes a
+  finished job and silent corruption reads as a miss, not a result;
+* :mod:`repro.campaign.executor` — serial and supervised-parallel
   execution with cache lookups, duplicate-config coalescing and
   completion-order-independent merging;
+* :mod:`repro.campaign.pool` — the supervised worker pool: crash
+  isolation, per-job timeouts, checksum-verified replies, degradation
+  to serial when the pool itself keeps dying;
+* :mod:`repro.campaign.policy` — the failure taxonomy and
+  :class:`RetryPolicy` (bounded attempts, seeded exponential backoff);
+* :mod:`repro.campaign.manifest` — per-campaign checkpoints behind
+  ``repro campaign --resume``;
+* :mod:`repro.campaign.faults` — deterministic fault injection for the
+  chaos test suite;
 * :mod:`repro.campaign.registry` — the experiment modules' ``jobs()`` /
   ``reduce()`` pairs wired up for the ``python -m repro campaign`` CLI
   (:mod:`repro.campaign.cli`).
@@ -30,24 +40,41 @@ from repro.campaign.job import (
     resolve_executor,
     thaw,
 )
-from repro.campaign.cache import ResultCache
+from repro.campaign.cache import CacheCorruption, ResultCache
 from repro.campaign.executor import (
     CampaignOutcome,
     CampaignStats,
+    quarantine_report,
     run_jobs,
     serial_results,
+)
+from repro.campaign.faults import Fault, FaultPlan
+from repro.campaign.manifest import RunManifest, campaign_digest
+from repro.campaign.policy import (
+    AttemptRecord,
+    JobFailure,
+    RetryPolicy,
 )
 
 __all__ = [
     "CACHE_SCHEMA",
+    "AttemptRecord",
+    "CacheCorruption",
     "CampaignOutcome",
     "CampaignStats",
+    "Fault",
+    "FaultPlan",
     "Job",
+    "JobFailure",
     "ResultCache",
+    "RetryPolicy",
+    "RunManifest",
+    "campaign_digest",
     "execute_job",
     "freeze",
     "job_params",
     "make_job",
+    "quarantine_report",
     "resolve_executor",
     "run_jobs",
     "serial_results",

@@ -1,45 +1,136 @@
-"""On-disk, content-addressed result cache.
+"""On-disk, content-addressed result cache with integrity checking.
 
-Each finished job's result is pickled under its digest (see
+Each finished job's result is stored under its digest (see
 :attr:`repro.campaign.job.Job.digest`), which already folds in the
 schema salt — invalidation is therefore automatic when the job encoding
 changes, and ``--force`` simply bypasses lookups while still refreshing
-entries.  Writes go through a temp file + :func:`os.replace` so a
-killed campaign never leaves a truncated entry behind; unreadable
-entries are treated as misses.
+entries.
+
+Entries are *checksummed*: a versioned header (magic line + SHA-256 of
+the pickled payload) is verified on every read, so silent corruption —
+a flipped bit, a truncated write, a partial disk — is detected
+deterministically rather than by unpickle luck, and the damaged entry
+is dropped so the next run refreshes it.  ``verify()`` walks the whole
+store for the ``repro campaign verify-cache`` CLI.
+
+Writes go through a temp file + :func:`os.replace` so a killed campaign
+never leaves a truncated entry behind; temp files orphaned by a process
+that died *between* ``write_bytes`` and ``os.replace`` are swept on
+cache open (their embedded writer pid no longer exists).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import time
 from pathlib import Path
-from typing import Any, Iterator, Tuple
+from typing import Any, Iterator, List, Tuple
+
+#: First line of every entry; bump the version for incompatible layout
+#: changes (old entries then read as corrupt -> miss -> refresh).
+MAGIC = b"repro-cache/1\n"
+
+#: Unparsable temp files older than this are swept regardless of pid.
+STALE_TMP_AGE_S = 3600.0
+
+
+def _encode(value: Any) -> bytes:
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    checksum = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return MAGIC + checksum + b"\n" + payload
+
+
+class CacheCorruption(Exception):
+    """An entry's header or checksum did not verify."""
+
+
+def _decode(blob: bytes) -> Any:
+    if not blob.startswith(MAGIC):
+        raise CacheCorruption("missing or unknown header magic")
+    rest = blob[len(MAGIC):]
+    newline = rest.find(b"\n")
+    if newline != 64:  # sha256 hex digest length
+        raise CacheCorruption("malformed checksum line")
+    checksum, payload = rest[:newline], rest[newline + 1:]
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != checksum:
+        raise CacheCorruption(
+            f"payload checksum mismatch ({len(payload)} bytes)"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CacheCorruption(
+            f"checksummed payload failed to unpickle: "
+            f"{type(exc).__name__}: {exc}"
+        )
 
 
 class ResultCache:
-    """Digest-keyed pickle store under one root directory."""
+    """Digest-keyed checksummed pickle store under one root directory."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.swept_tmp = self._sweep_stale_tmp()
 
     def path_for(self, digest: str) -> Path:
         # Two-level fan-out keeps directory listings short even for
         # campaigns with thousands of jobs.
         return self.root / digest[:2] / f"{digest}.pkl"
 
+    # ------------------------------------------------------------------
+    # hygiene
+    # ------------------------------------------------------------------
+    def _sweep_stale_tmp(self) -> int:
+        """Remove temp files whose writer died mid-``put``.
+
+        Temp names embed the writer's pid (``.<name>.<pid>.tmp``); a
+        temp whose pid is no longer alive is an orphan from a crashed
+        process and can never be renamed into place.  Unparsable temps
+        are only removed once they are clearly ancient, so a concurrent
+        writer's live temp is never yanked out from under it.
+        """
+        removed = 0
+        for tmp in self.root.glob("*/.*.tmp"):
+            try:
+                pid = int(tmp.name.rsplit(".", 2)[-2])
+            except (ValueError, IndexError):
+                pid = None
+            if pid is not None:
+                if pid == os.getpid() or _pid_alive(pid):
+                    continue
+            else:
+                try:
+                    age = time.time() - tmp.stat().st_mtime
+                except OSError:
+                    continue
+                if age < STALE_TMP_AGE_S:
+                    continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # store
+    # ------------------------------------------------------------------
     def get(self, digest: str) -> Tuple[bool, Any]:
         """``(hit, value)``; corrupt or missing entries are misses."""
         path = self.path_for(digest)
         try:
-            payload = path.read_bytes()
+            blob = path.read_bytes()
         except OSError:
             return False, None
         try:
-            return True, pickle.loads(payload)
-        except Exception:
-            # Truncated/corrupt entry: drop it so the rerun refreshes it.
+            return True, _decode(blob)
+        except CacheCorruption:
+            # Detected corruption: drop the entry so a rerun refreshes
+            # it instead of serving damaged bytes.
             try:
                 path.unlink()
             except OSError:
@@ -50,7 +141,7 @@ class ResultCache:
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.write_bytes(_encode(value))
         os.replace(tmp, path)
         return path
 
@@ -70,3 +161,50 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> Iterator[Tuple[str, str, str]]:
+        """Yield ``(digest, status, detail)`` per entry, sorted by
+        digest; ``status`` is ``"ok"``, ``"corrupt"`` or
+        ``"unreadable"``.  Read-only: damaged entries are *reported*,
+        not dropped (``get`` drops them, ``verify --purge`` in the CLI
+        does it in bulk)."""
+        for path in sorted(self.root.glob("??/*.pkl")):
+            digest = path.stem
+            try:
+                blob = path.read_bytes()
+            except OSError as exc:
+                yield digest, "unreadable", f"{type(exc).__name__}: {exc}"
+                continue
+            try:
+                _decode(blob)
+            except CacheCorruption as exc:
+                yield digest, "corrupt", str(exc)
+            else:
+                yield digest, "ok", ""
+
+    def verify_summary(self) -> Tuple[int, List[Tuple[str, str, str]]]:
+        """``(total_entries, bad_entries)`` for the CLI."""
+        total = 0
+        bad: List[Tuple[str, str, str]] = []
+        for digest, status, detail in self.verify():
+            total += 1
+            if status != "ok":
+                bad.append((digest, status, detail))
+        return total, bad
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True

@@ -6,27 +6,68 @@ Examples::
     python -m repro campaign fig8 fig9 --jobs 4   # a subset, 4 workers
     python -m repro campaign --jobs 1             # serial, in-process
     python -m repro campaign --force              # ignore cached results
+    python -m repro campaign --timeout 600        # kill hung jobs
+    python -m repro campaign --resume             # finish an interrupted run
+    python -m repro campaign verify-cache         # integrity-check the cache
     python -m repro campaign --list               # selectable names
 
 Results are cached on disk keyed by each job's config digest, so a
 re-run only simulates what changed; ``--force`` recomputes everything
 (and refreshes the cache).  Output is printed per experiment in the
 order requested, independent of which worker finished first.
+
+Failure semantics: a job that exhausts its ``--retries`` attempts is
+*quarantined* — the campaign completes the rest, prints a quarantine
+report (digest, attempts, worker pids, traceback), skips the affected
+experiments' renders, and exits nonzero unless ``--partial``.  A ^C
+flushes finished results to the cache and the run's manifest, and
+``--resume`` then executes only the remainder (prior quarantined jobs
+are reported without burning their retry budget again).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.campaign.cache import ResultCache
-from repro.campaign.executor import run_jobs
+from repro.campaign.executor import quarantine_report, run_jobs
 from repro.campaign.job import Job
+from repro.campaign.manifest import RunManifest, campaign_digest
+from repro.campaign.policy import RetryPolicy
 from repro.campaign.registry import FIGURE_SUITE, campaign_registry
 
 #: Default on-disk cache location (repo root when run from a checkout).
 DEFAULT_CACHE_DIR = ".repro-cache/campaign"
+
+#: Exit code for an interrupted (^C) campaign, matching shell SIGINT.
+EXIT_INTERRUPTED = 130
+
+
+def manifest_path(cache_dir, digest: str) -> Path:
+    """Where a campaign's resume checkpoint lives."""
+    return Path(cache_dir) / "runs" / f"{digest[:16]}.json"
+
+
+def verify_cache_main(cache_dir: str, purge: bool) -> int:
+    """``repro campaign verify-cache``: integrity-check every entry."""
+    cache = ResultCache(cache_dir)
+    if cache.swept_tmp:
+        print(f"swept {cache.swept_tmp} stale temp file(s)")
+    total, bad = cache.verify_summary()
+    print(f"{total} entrie(s) under {cache.root}: {total - len(bad)} ok")
+    for digest, status, detail in bad:
+        print(f"  {status:10} {digest[:16]}…  {detail}")
+    if bad and purge:
+        for digest, _, _ in bad:
+            try:
+                cache.path_for(digest).unlink()
+            except OSError:
+                pass
+        print(f"purged {len(bad)} bad entrie(s)")
+    return 1 if bad else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -34,7 +75,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro campaign",
         description=(
             "Fan independent simulation jobs from any mix of experiments "
-            "out across worker processes, with an on-disk result cache."
+            "out across supervised worker processes, with retries, "
+            "quarantine, checkpointed resume and an on-disk result cache."
         ),
     )
     parser.add_argument(
@@ -43,7 +85,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="EXPERIMENT",
         help=(
             "experiments to run (default: every figure and table; "
-            "see --list for all names including abl-* ablations)"
+            "see --list for all names including abl-* ablations), or "
+            "the special command 'verify-cache'"
         ),
     )
     parser.add_argument(
@@ -65,12 +108,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="neither read nor write the on-disk cache",
+        help="neither read nor write the on-disk cache (also disables "
+        "the resume manifest)",
     )
     parser.add_argument(
         "--force",
         action="store_true",
         help="ignore cached results (they are refreshed afterwards)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock budget in seconds; a hung job is "
+        "killed and retried (workers > 1 only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per job before quarantine (default: "
+        f"{RetryPolicy.max_attempts})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume this campaign from its manifest: cached digests "
+        "are reused and previously quarantined jobs are reported "
+        "without re-running their attempts",
+    )
+    parser.add_argument(
+        "--partial",
+        action="store_true",
+        help="exit 0 even when jobs were quarantined (the completed "
+        "experiments still render)",
+    )
+    parser.add_argument(
+        "--purge",
+        action="store_true",
+        help="with verify-cache: delete the entries that fail "
+        "verification",
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -92,6 +171,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.seconds is not None and args.seconds <= 0:
         parser.error("--seconds must be positive")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.retries is not None and args.retries < 1:
+        parser.error("--retries must be >= 1")
+
+    if args.experiments and args.experiments[0] == "verify-cache":
+        if len(args.experiments) > 1:
+            parser.error("verify-cache takes no experiment names")
+        return verify_cache_main(args.cache_dir, args.purge)
 
     registry = campaign_registry()
     if args.list:
@@ -116,6 +204,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    manifest = None
+    skip_failed = None
+    if cache is not None:
+        digest = campaign_digest(job.digest for job in jobs)
+        manifest = RunManifest.load(
+            manifest_path(args.cache_dir, digest), digest
+        )
+        if args.resume:
+            skip_failed = set(manifest.failed)
+        else:
+            # A fresh (non-resume) run re-attempts everything that is
+            # not in the cache, including previously failed digests.
+            manifest.failed.clear()
+    elif args.resume:
+        print("--resume needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
+
+    retry = (
+        RetryPolicy(max_attempts=args.retries)
+        if args.retries is not None
+        else None
+    )
 
     def progress(event: str, job: Job, done: int, total: int) -> None:
         if not args.quiet:
@@ -127,14 +237,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache=cache,
         force=args.force,
         progress=progress,
+        retry=retry,
+        timeout_s=args.timeout,
+        manifest=manifest,
+        skip_failed=skip_failed,
     )
 
+    failed_experiments = set(outcome.failed_experiments())
+    incomplete = failed_experiments | (
+        set(selected) if outcome.stats.interrupted else set()
+    )
     for name in selected:
+        if name in incomplete:
+            why = (
+                "interrupted"
+                if name not in failed_experiments
+                else "job(s) quarantined"
+            )
+            print(f"[{name}: not rendered — {why}]")
+            print()
+            continue
         spec = registry[name]
         result = spec.reduce(outcome.experiment_results(name))
         print(spec.render(result))
         print()
+
+    report = quarantine_report(outcome)
+    if report:
+        print(report)
+        print()
     print(outcome.stats.summary())
+
+    if outcome.stats.interrupted:
+        print(
+            "interrupted — finished results are cached; rerun with "
+            "--resume to execute only the remainder",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    if outcome.failures and not args.partial:
+        return 1
     return 0
 
 

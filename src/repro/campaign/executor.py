@@ -1,4 +1,4 @@
-"""Serial and multi-process campaign execution.
+"""Fault-tolerant campaign execution: serial, supervised-parallel, resumable.
 
 ``run_jobs`` takes jobs from any mix of experiments and returns their
 results merged *by job key*, never by completion order, so a parallel
@@ -8,13 +8,27 @@ campaign is byte-identical to a serial one.  Along the way it:
   fig9's 1-vs-11 FIFO uplink run) execute once and fan back out;
 * consults the :class:`~repro.campaign.cache.ResultCache` before
   spending any CPU, unless ``force`` invalidates;
-* degrades gracefully to plain in-process execution when ``workers=1``
-  (no ``multiprocessing`` import, no pickling round-trip);
-* reports progress through an optional callback.
+* survives failure: worker crashes, hung jobs and corrupted results
+  cost *attempts* under a :class:`~repro.campaign.policy.RetryPolicy`
+  (bounded retries, seeded exponential backoff), and a job that
+  exhausts its attempts is **quarantined** as a structured
+  :class:`~repro.campaign.policy.JobFailure` while the rest of the
+  campaign completes;
+* degrades gracefully: repeated pool-level worker deaths abandon the
+  pool and finish the remaining jobs serially in-process, recording
+  ``degraded_reason`` in :class:`CampaignStats`;
+* checkpoints: every completion lands in the cache *and* the optional
+  :class:`~repro.campaign.manifest.RunManifest` immediately, and a
+  ``KeyboardInterrupt`` returns a coherent partial
+  :class:`CampaignOutcome` (flushed results, ``stats.interrupted``,
+  wall clock set) instead of losing the run.
 
+Parallel execution is the supervised worker pool of
+:mod:`repro.campaign.pool` — long-lived processes fed one digest at a
+time, per-job wall-clock deadlines, checksum-verified result payloads.
 Worker processes only ever receive :class:`Job` descriptors (frozen
-primitive trees) and return picklable result dataclasses; cache writes
-happen in the parent, so no locking is needed.
+primitive trees); cache and manifest writes happen in the parent, so no
+locking is needed.
 """
 
 from __future__ import annotations
@@ -30,14 +44,25 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Set,
     Tuple,
 )
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.faults import FaultPlan
 from repro.campaign.job import Job, execute_job
+from repro.campaign.manifest import RunManifest
+from repro.campaign.policy import (
+    AttemptRecord,
+    JobFailure,
+    RetryPolicy,
+    is_permanent,
+)
 
 #: ``progress(event, job, done, total)`` with ``event`` one of
-#: ``"cached"`` / ``"executed"``; ``done``/``total`` count unique digests.
+#: ``"cached"`` / ``"executed"`` / ``"retried"`` / ``"failed"`` /
+#: ``"skipped"``; ``done``/``total`` count unique digests (``retried``
+#: does not advance ``done``).
 ProgressFn = Callable[[str, Job, int, int], None]
 
 
@@ -45,8 +70,9 @@ def serial_results(jobs: Iterable[Job]) -> Dict[Hashable, Any]:
     """Execute ``jobs`` in order, in-process, keyed by ``job.key``.
 
     This is the thin serial path the experiment modules' ``run()``
-    wrappers use: no cache, no coalescing, no pool — exactly one fresh
-    simulation per listed job, like the pre-campaign monolithic loops.
+    wrappers use: no cache, no coalescing, no retries — exactly one
+    fresh simulation per listed job, exceptions propagating, like the
+    pre-campaign monolithic loops.
     """
     return {job.key: execute_job(job) for job in jobs}
 
@@ -60,24 +86,52 @@ class CampaignStats:
     executed: int = 0  #: digests actually simulated this run
     cached: int = 0  #: digests served from the on-disk cache
     coalesced: int = 0  #: jobs that shared another job's digest
+    retried: int = 0  #: attempt failures that were rescheduled
+    failed: int = 0  #: digests quarantined (attempts exhausted)
+    skipped: int = 0  #: digests skipped as known failures (``--resume``)
     workers: int = 1
     wall_s: float = 0.0
+    interrupted: bool = False  #: a SIGINT cut the campaign short
+    degraded_reason: Optional[str] = None  #: pool fell back to serial
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} jobs ({self.unique} unique): "
             f"{self.executed} executed, {self.cached} cache hits, "
-            f"{self.coalesced} coalesced; "
-            f"{self.workers} worker(s), {self.wall_s:.2f}s wall"
+            f"{self.coalesced} coalesced"
         )
+        if self.retried:
+            text += f", {self.retried} retries"
+        if self.failed:
+            text += f", {self.failed} quarantined"
+        if self.skipped:
+            text += f", {self.skipped} skipped"
+        text += f"; {self.workers} worker(s), {self.wall_s:.2f}s wall"
+        if self.degraded_reason:
+            text += f"; degraded: {self.degraded_reason}"
+        if self.interrupted:
+            text += "; interrupted"
+        return text
 
 
 @dataclass
 class CampaignOutcome:
-    """Results for every requested job plus execution statistics."""
+    """Results for every resolved job, quarantined failures, and stats.
+
+    ``results`` holds an entry per requested job whose digest resolved;
+    jobs of quarantined digests are absent (their ``JobFailure`` is in
+    ``failures`` instead), so a partially-failed campaign still reduces
+    every experiment it completed.
+    """
 
     results: Dict[Job, Any] = field(default_factory=dict)
     stats: CampaignStats = field(default_factory=CampaignStats)
+    failures: List[JobFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every requested digest resolved and nothing cut us short."""
+        return not self.failures and not self.stats.interrupted
 
     def experiment_results(self, experiment: str) -> Dict[Hashable, Any]:
         """``{job.key: result}`` for one experiment, in job order —
@@ -94,10 +148,13 @@ class CampaignOutcome:
             seen.setdefault(job.experiment, None)
         return list(seen)
 
-
-def _execute_entry(entry: Tuple[str, Job]) -> Tuple[str, Any]:
-    digest, job = entry
-    return digest, execute_job(job)
+    def failed_experiments(self) -> List[str]:
+        """Experiments with at least one quarantined job, in failure
+        order — their ``reduce()`` would see an incomplete mapping."""
+        seen: Dict[str, None] = {}
+        for failure in self.failures:
+            seen.setdefault(failure.experiment, None)
+        return list(seen)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -108,6 +165,160 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+class _Run:
+    """Mutable state shared by the serial and supervised paths."""
+
+    def __init__(
+        self,
+        by_digest: Dict[str, List[Job]],
+        stats: CampaignStats,
+        cache: Optional[ResultCache],
+        manifest: Optional[RunManifest],
+        progress: Optional[ProgressFn],
+    ) -> None:
+        self.by_digest = by_digest
+        self.stats = stats
+        self.cache = cache
+        self.manifest = manifest
+        self.progress = progress
+        self.resolved: Dict[str, Any] = {}
+        self.failures: List[JobFailure] = []
+        self.attempts_used: Dict[str, int] = {}
+        self.done = 0
+
+    def emit(self, event: str, digest: str) -> None:
+        if self.progress is not None:
+            self.progress(
+                event, self.by_digest[digest][0], self.done, self.stats.unique
+            )
+
+    def hit(self, digest: str, value: Any) -> None:
+        self.resolved[digest] = value
+        self.stats.cached += 1
+        self.done += 1
+        self.emit("cached", digest)
+
+    def finish(self, digest: str, value: Any) -> None:
+        self.resolved[digest] = value
+        self.stats.executed += 1
+        self.done += 1
+        if self.cache is not None:
+            self.cache.put(digest, value)
+        if self.manifest is not None:
+            self.manifest.record_done(
+                digest, self.attempts_used.get(digest, 0) + 1
+            )
+        self.emit("executed", digest)
+
+    def retried(self, digest: str, record: AttemptRecord) -> None:
+        self.stats.retried += 1
+        self.attempts_used[digest] = record.attempt
+        self.emit("retried", digest)
+
+    def quarantine(self, failure: JobFailure) -> None:
+        self.failures.append(failure)
+        self.stats.failed += 1
+        self.done += 1
+        if self.manifest is not None:
+            self.manifest.record_failed(failure)
+        self.emit("failed", failure.digest)
+
+    def skip_known_failure(self, failure: JobFailure) -> None:
+        self.failures.append(failure)
+        self.stats.failed += 1
+        self.stats.skipped += 1
+        self.done += 1
+        self.emit("skipped", failure.digest)
+
+
+def _run_serial(
+    run: _Run,
+    pending: List[Tuple[str, Job]],
+    retry: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+) -> None:
+    """In-process execution with the same retry/quarantine semantics.
+
+    No worker boundary means no crash isolation and no wall-clock
+    timeouts (killing a hung job requires a process to kill), but
+    transient exceptions still retry on the seeded backoff schedule and
+    exhausted jobs still quarantine instead of aborting the campaign.
+    Fault plans deliberately do not apply in-process
+    (:mod:`repro.campaign.faults`).
+    """
+    import traceback as tb_mod
+
+    for digest, job in pending:
+        attempt = 1
+        records: List[AttemptRecord] = []
+        last_tb = ""
+        while True:
+            try:
+                value = execute_job(job)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                last_tb = tb_mod.format_exc()
+                record = AttemptRecord(
+                    attempt=attempt,
+                    kind="exception",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    worker_pid=os.getpid(),
+                )
+                records.append(record)
+                permanent = is_permanent("exception", type(exc).__name__)
+                if not permanent and attempt < retry.max_attempts:
+                    backoff = retry.backoff_s(digest, attempt)
+                    record.backoff_s = backoff
+                    run.retried(digest, record)
+                    if backoff > 0:
+                        sleep(backoff)
+                    attempt += 1
+                    continue
+                run.quarantine(
+                    JobFailure(
+                        digest=digest,
+                        experiment=job.experiment,
+                        key=job.key,
+                        label=job.label,
+                        attempts=records,
+                        traceback=last_tb,
+                        permanent=permanent,
+                    )
+                )
+                break
+            else:
+                run.finish(digest, value)
+                break
+
+
+def _run_supervised(
+    run: _Run,
+    pending: List[Tuple[str, Job]],
+    *,
+    workers: int,
+    retry: RetryPolicy,
+    timeout_s: Optional[float],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Supervised pool execution, degrading to serial on pool failure."""
+    from repro.campaign.pool import SupervisedPool
+
+    pool = SupervisedPool(
+        workers=workers,
+        retry=retry,
+        timeout_s=timeout_s,
+        fault_plan=fault_plan,
+        on_result=run.finish,
+        on_retry=lambda digest, job, record: run.retried(digest, record),
+        on_failure=lambda digest, job, failure: run.quarantine(failure),
+    )
+    degraded_reason, remaining = pool.run(pending)
+    if degraded_reason is not None:
+        run.stats.degraded_reason = degraded_reason
+        _run_serial(run, remaining, retry)
+
+
 def run_jobs(
     jobs: Iterable[Job],
     *,
@@ -115,16 +326,36 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     force: bool = False,
     progress: Optional[ProgressFn] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    manifest: Optional[RunManifest] = None,
+    skip_failed: Optional[Set[str]] = None,
 ) -> CampaignOutcome:
     """Execute a campaign and merge results deterministically.
 
     ``workers=None`` means one worker per CPU.  ``force=True`` skips
     cache lookups (entries are still refreshed with the new results).
+    ``timeout_s`` bounds each job's wall clock (supervised pool only —
+    the in-process path has no one to kill).  ``retry`` defaults to
+    three attempts with seeded exponential backoff.  Digests listed in
+    ``skip_failed`` (a resumed run's prior quarantine) are reported as
+    failures without spending any attempts; ``manifest``, when given,
+    is updated after every completion or quarantine so a later run can
+    resume.  ``fault_plan`` injects worker failures for the chaos suite
+    (default: the ``REPRO_CAMPAIGN_FAULTS`` environment hook).
+
     Raises if two jobs share an ``(experiment, key)`` identity — the
-    reduce step could not tell their results apart.
+    reduce step could not tell their results apart.  A
+    ``KeyboardInterrupt`` mid-campaign does *not* raise: completed
+    results are already flushed to the cache and the partial
+    :class:`CampaignOutcome` comes back with ``stats.interrupted``.
     """
     job_list = list(jobs)
     workers = resolve_workers(workers)
+    retry = retry if retry is not None else RetryPolicy()
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
     seen_ids: Dict[Tuple[str, Hashable], Job] = {}
     for job in job_list:
         ident = (job.experiment, job.key)
@@ -145,52 +376,88 @@ def run_jobs(
     )
     stats.coalesced = stats.total - stats.unique
 
-    resolved: Dict[str, Any] = {}
-    done = 0
+    run = _Run(by_digest, stats, cache, manifest, progress)
     if cache is not None and not force:
         for digest, group in by_digest.items():
             hit, value = cache.get(digest)
             if hit:
-                resolved[digest] = value
-                stats.cached += 1
-                done += 1
-                if progress is not None:
-                    progress("cached", group[0], done, stats.unique)
+                run.hit(digest, value)
 
+    if skip_failed:
+        for digest in by_digest:
+            if digest in run.resolved or digest not in skip_failed:
+                continue
+            prior = (
+                manifest.failure_for(digest) if manifest is not None else None
+            )
+            lead = by_digest[digest][0]
+            if prior is None:
+                prior = JobFailure(
+                    digest=digest,
+                    experiment=lead.experiment,
+                    key=lead.key,
+                    label=lead.label,
+                    permanent=True,
+                )
+            run.skip_known_failure(prior)
+
+    finished = set(run.resolved)
+    finished.update(f.digest for f in run.failures)
     pending = [
         (digest, group[0])
         for digest, group in by_digest.items()
-        if digest not in resolved
+        if digest not in finished
     ]
 
-    def finish(digest: str, value: Any) -> None:
-        nonlocal done
-        resolved[digest] = value
-        stats.executed += 1
-        done += 1
-        if cache is not None:
-            cache.put(digest, value)
-        if progress is not None:
-            progress("executed", by_digest[digest][0], done, stats.unique)
-
-    if pending and workers > 1:
-        import multiprocessing
-
-        # chunksize=1: jobs are coarse (whole simulations), so dynamic
-        # dispatch beats batching even at high job counts.  Never fork
-        # more workers than there are pending digests (a mostly-warm
-        # rerun may have a single stale job).
-        with multiprocessing.Pool(
-            processes=min(workers, len(pending))
-        ) as pool:
-            for digest, value in pool.imap_unordered(
-                _execute_entry, pending, chunksize=1
-            ):
-                finish(digest, value)
-    else:
-        for digest, job in pending:
-            finish(digest, execute_job(job))
+    try:
+        if pending and workers > 1:
+            _run_supervised(
+                run,
+                pending,
+                workers=min(workers, max(2, len(pending))),
+                retry=retry,
+                timeout_s=timeout_s,
+                fault_plan=fault_plan,
+            )
+        else:
+            _run_serial(run, pending, retry)
+    except KeyboardInterrupt:
+        stats.interrupted = True
 
     stats.wall_s = time.perf_counter() - t0
-    results = {job: resolved[job.digest] for job in job_list}
-    return CampaignOutcome(results=results, stats=stats)
+    results = {
+        job: run.resolved[job.digest]
+        for job in job_list
+        if job.digest in run.resolved
+    }
+    return CampaignOutcome(
+        results=results, stats=stats, failures=run.failures
+    )
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def quarantine_report(outcome: CampaignOutcome, *, verbose: bool = True) -> str:
+    """Human-readable quarantine section for the CLIs."""
+    if not outcome.failures:
+        return ""
+    lines = [f"QUARANTINE ({len(outcome.failures)} job(s)):"]
+    for failure in outcome.failures:
+        lines.append(f"  {failure.summary()}")
+        for record in failure.attempts:
+            backoff = (
+                f", retried after {record.backoff_s:.3f}s"
+                if record.backoff_s is not None
+                else ""
+            )
+            lines.append(
+                f"    attempt {record.attempt}: {record.kind} — "
+                f"{record.detail}"
+                f" (pid {record.worker_pid}){backoff}"
+            )
+        if verbose and failure.traceback:
+            lines.append("    last traceback:")
+            for tb_line in failure.traceback.rstrip().splitlines():
+                lines.append(f"      {tb_line}")
+    return "\n".join(lines)

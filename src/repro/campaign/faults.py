@@ -1,0 +1,132 @@
+"""Deterministic fault injection for the campaign executor.
+
+A :class:`FaultPlan` tells *worker processes* to misbehave on chosen
+``(digest, attempt)`` pairs: die without warning, hang until the
+supervisor's timeout kills them, raise, or corrupt the result payload
+on its way back over the pipe.  The chaos test suite drives the
+supervised executor through every failure mode it claims to survive
+with byte-for-byte reproducible runs — the plan is pure data, matched
+by digest prefix and attempt number, with no randomness of its own.
+
+Faults apply **only inside worker processes** (``repro.campaign.pool``
+sets :data:`in_worker` after fork).  The serial in-process path and the
+degraded-to-serial fallback never consult the plan: a ``crash`` fault
+must never take down the supervising process, and "the pool keeps
+dying, serial still completes the campaign" is exactly the degradation
+contract under test.
+
+Plans are normally passed straight to
+:func:`repro.campaign.executor.run_jobs`; the ``REPRO_CAMPAIGN_FAULTS``
+environment variable (JSON, same shape as :meth:`FaultPlan.to_json`)
+reaches code paths that do not expose the parameter, e.g. CLI-level
+chaos tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Environment hook consulted when ``run_jobs`` is not given a plan.
+FAULTS_ENV = "REPRO_CAMPAIGN_FAULTS"
+
+#: Worker-side flag: ``pool._worker_main`` flips this after fork so
+#: fault actions can never fire in a supervising (or serial) process.
+in_worker = False
+
+#: What an injected fault does to the worker:
+#:
+#: * ``kill``     — SIGKILL self mid-job (segfault/OOM-killer stand-in);
+#: * ``exit``     — ``os._exit(3)`` without a reply (hard crash);
+#: * ``hang``     — sleep far past any timeout (wedged simulation);
+#: * ``raise``    — raise ``RuntimeError`` (transient, retried);
+#: * ``fail``     — raise ``ValueError`` (permanent, straight to
+#:   quarantine);
+#: * ``corrupt``  — return the real result with its payload bytes
+#:   flipped after checksumming (detected by the supervisor's integrity
+#:   check, costs one attempt).
+ACTIONS = ("kill", "exit", "hang", "raise", "fail", "corrupt")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: ``action`` on ``digest_prefix`` at
+    ``attempt`` (1-based; 0 matches every attempt)."""
+
+    digest_prefix: str
+    attempt: int
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} (one of {ACTIONS})"
+            )
+        if self.attempt < 0:
+            raise ValueError("fault attempt must be >= 0 (0 = every attempt)")
+
+    def matches(self, digest: str, attempt: int) -> bool:
+        return digest.startswith(self.digest_prefix) and self.attempt in (
+            0,
+            attempt,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`Fault` rules (first match wins)."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def action_for(self, digest: str, attempt: int) -> Optional[str]:
+        for fault in self.faults:
+            if fault.matches(digest, attempt):
+                return fault.action
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "digest_prefix": f.digest_prefix,
+                    "attempt": f.attempt,
+                    "action": f.action,
+                }
+                for f in self.faults
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        entries = json.loads(text)
+        return cls(
+            faults=tuple(
+                Fault(
+                    digest_prefix=str(e["digest_prefix"]),
+                    attempt=int(e.get("attempt", 0)),
+                    action=str(e["action"]),
+                )
+                for e in entries
+            )
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by :data:`FAULTS_ENV`, or ``None``."""
+        text = os.environ.get(FAULTS_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+# ----------------------------------------------------------------------
+# reference executors for the chaos suite
+# ----------------------------------------------------------------------
+def unpicklable_result(params):
+    """Job executor that *succeeds* but returns something no pickle can
+    carry across the worker pipe — the supervisor must book it as an
+    ``unpicklable`` attempt, not hang or die.  Address it as
+    ``"repro.campaign.faults:unpicklable_result"``."""
+    return lambda: params  # a closure: deterministically unpicklable

@@ -1,0 +1,524 @@
+"""Supervised worker pool: crash isolation, timeouts, retry scheduling.
+
+``multiprocessing.Pool`` treats a dead worker as a protocol error: one
+SIGKILL mid-job and ``imap_unordered`` hangs or raises, taking the whole
+campaign with it.  This pool supervises instead of delegating:
+
+* each worker is a long-lived daemon process fed **one item at a time**
+  over its own pipe, so the supervisor always knows exactly which
+  ``(digest, attempt)`` a dying worker was holding — a crash costs that
+  one attempt, never the campaign;
+* results come back as ``(payload_bytes, sha256)`` and are verified
+  before unpickling, so a corrupted reply is an attempt failure, not a
+  cache entry;
+* every assignment carries a wall-clock deadline; a hung worker is
+  SIGKILLed at its deadline, the item retried on the
+  :class:`~repro.campaign.policy.RetryPolicy`'s seeded backoff
+  schedule, and a fresh worker spawned in its place;
+* repeated worker deaths with no intervening progress trip the
+  *degradation* threshold: the pool shuts down and hands the remaining
+  items back to the caller for serial in-process execution (the
+  supervisor's own process is never at risk).
+
+Scheduling is deterministic: ready items run in (ready-time, submission
+sequence) order, retries re-enter the queue at ``now + backoff`` with a
+fresh sequence number, and results are merged by digest upstream — so a
+campaign that survives injected chaos is byte-identical to a fault-free
+serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+import traceback
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign import faults as faults_mod
+from repro.campaign.faults import FaultPlan
+from repro.campaign.job import Job, execute_job
+from repro.campaign.policy import (
+    AttemptRecord,
+    JobFailure,
+    RetryPolicy,
+    is_permanent,
+)
+
+#: How long a worker may hang (seconds) when a fault plan says "hang";
+#: far past any test timeout, and SIGKILL does not care either way.
+_HANG_S = 3600.0
+
+#: Seconds to wait for replies already in flight when shutting down on
+#: interrupt, and for workers to exit voluntarily before SIGKILL.
+_DRAIN_S = 0.25
+_JOIN_S = 2.0
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _flip_last_byte(payload: bytes) -> bytes:
+    if not payload:
+        return b"\xff"
+    return payload[:-1] + bytes([payload[-1] ^ 0xFF])
+
+
+def _execute_one(
+    digest: str, job: Job, attempt: int, plan: Optional[FaultPlan]
+) -> Tuple:
+    """Run one job in this worker; returns the reply tuple.
+
+    Replies are primitive-only:
+    ``("ok", digest, attempt, payload, sha256hex)`` or
+    ``("error", digest, attempt, exc_type, message, traceback)``.
+    """
+    action = None
+    if plan is not None and faults_mod.in_worker:
+        action = plan.action_for(digest, attempt)
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if action == "exit":
+        os._exit(3)
+    if action == "hang":
+        time.sleep(_HANG_S)
+    try:
+        if action == "raise":
+            raise RuntimeError(
+                f"injected transient fault ({digest[:12]}, attempt {attempt})"
+            )
+        if action == "fail":
+            raise ValueError(
+                f"injected permanent fault ({digest[:12]}, attempt {attempt})"
+            )
+        value = execute_job(job)
+    except Exception as exc:
+        return (
+            "error",
+            digest,
+            attempt,
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+        )
+    try:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        return (
+            "error",
+            digest,
+            attempt,
+            "UnpicklableResult",
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
+    checksum = hashlib.sha256(payload).hexdigest()
+    if action == "corrupt":
+        payload = _flip_last_byte(payload)
+    return ("ok", digest, attempt, payload, checksum)
+
+
+def _worker_main(conn, plan: Optional[FaultPlan]) -> None:
+    """Long-lived worker loop: recv item, execute, send reply.
+
+    SIGINT is ignored — a ^C on the campaign belongs to the supervisor,
+    which decides whether to drain, kill, or resume.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    faults_mod.in_worker = True
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        digest, job, attempt = item
+        reply = _execute_one(digest, job, attempt, plan)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ----------------------------------------------------------------------
+# supervisor side
+# ----------------------------------------------------------------------
+class _Worker:
+    """One supervised process plus its pipe and current assignment."""
+
+    __slots__ = ("wid", "proc", "conn", "item", "deadline")
+
+    def __init__(self, ctx, wid: int, plan: Optional[FaultPlan]) -> None:
+        self.wid = wid
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, plan),
+            daemon=True,
+            name=f"repro-campaign-worker-{wid}",
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.item: Optional[Tuple[str, Job, int]] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def death_detail(self) -> str:
+        code = self.proc.exitcode
+        if code is None:
+            return "died (no exit code)"
+        if code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:
+                name = f"signal {-code}"
+            return f"killed by {name}"
+        return f"exited with status {code}"
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join()
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Polite shutdown: poison pill, bounded join, then SIGKILL."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=_JOIN_S)
+        self.kill()
+
+
+class PoolDegraded(Exception):
+    """Internal signal: too many worker deaths, fall back to serial."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SupervisedPool:
+    """Drives a set of work items through supervised workers.
+
+    Callbacks (all invoked in the supervising process, in completion
+    order):
+
+    * ``on_result(digest, value)`` — a digest resolved;
+    * ``on_retry(digest, job, record)`` — an attempt failed, retry
+      scheduled after ``record.backoff_s``;
+    * ``on_failure(digest, job, failure)`` — a digest quarantined.
+
+    :meth:`run` returns ``(degraded_reason, remaining)`` where
+    ``remaining`` is the (deterministically ordered) list of
+    ``(digest, job)`` items not yet resolved when the pool degraded —
+    empty on a normal completion.  ``KeyboardInterrupt`` propagates
+    after in-flight replies are drained and workers are killed.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        retry: RetryPolicy,
+        timeout_s: Optional[float],
+        fault_plan: Optional[FaultPlan],
+        on_result: Callable[[str, Any], None],
+        on_retry: Callable[[str, Job, AttemptRecord], None],
+        on_failure: Callable[[str, Job, JobFailure], None],
+        degrade_after: Optional[int] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("SupervisedPool needs >= 2 workers")
+        self.workers_n = workers
+        self.retry = retry
+        self.timeout_s = timeout_s
+        self.plan = fault_plan
+        self.on_result = on_result
+        self.on_retry = on_retry
+        self.on_failure = on_failure
+        #: consecutive worker deaths (not timeouts) with no intervening
+        #: reply before the pool declares itself unusable.
+        self.degrade_after = (
+            degrade_after if degrade_after is not None else max(3, workers + 1)
+        )
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self._wid_seq = 0
+        self._seq = 0
+        #: (ready_at, seq, digest, job, attempt)
+        self._heap: List[Tuple[float, int, str, Job, int]] = []
+        self._attempts: Dict[str, List[AttemptRecord]] = {}
+        self._last_tb: Dict[str, str] = {}
+        self._consecutive_deaths = 0
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._ctx, self._wid_seq, self.plan)
+        self._wid_seq += 1
+        self._workers.append(worker)
+        return worker
+
+    def _push(self, digest: str, job: Job, attempt: int, ready_at: float) -> None:
+        heapq.heappush(self._heap, (ready_at, self._seq, digest, job, attempt))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    def run(self, items: List[Tuple[str, Job]]) -> Tuple[Optional[str], List[Tuple[str, Job]]]:
+        for digest, job in items:
+            self._push(digest, job, 1, 0.0)
+        for _ in range(min(self.workers_n, len(items))):
+            self._spawn()
+        try:
+            self._supervise()
+        except PoolDegraded as degraded:
+            remaining = self._reclaim_remaining()
+            return degraded.reason, remaining
+        except KeyboardInterrupt:
+            self._drain_ready()
+            raise
+        finally:
+            self._shutdown()
+        return None, []
+
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while self._heap or any(w.item is not None for w in self._workers):
+            now = time.monotonic()
+            self._assign(now)
+            busy = [w for w in self._workers if w.item is not None]
+            if not busy:
+                if self._heap:
+                    time.sleep(max(0.0, self._heap[0][0] - now))
+                    continue
+                break
+            self._wait_and_collect(busy, now)
+            self._expire_deadlines()
+
+    def _assign(self, now: float) -> None:
+        idle = [w for w in self._workers if w.item is None]
+        idle.sort(key=lambda w: w.wid)
+        while idle and self._heap and self._heap[0][0] <= now:
+            ready_at, seq, digest, job, attempt = heapq.heappop(self._heap)
+            worker = idle.pop(0)
+            try:
+                worker.conn.send((digest, job, attempt))
+            except (BrokenPipeError, OSError):
+                # Died while idle: no attempt consumed — requeue the
+                # item and replace the worker.
+                self._push(digest, job, attempt, ready_at)
+                self._worker_died_idle(worker)
+                continue
+            worker.item = (digest, job, attempt)
+            worker.deadline = (
+                now + self.timeout_s if self.timeout_s is not None else None
+            )
+
+    def _wait_timeout(self, busy: List[_Worker], now: float) -> Optional[float]:
+        candidates = [
+            w.deadline - now for w in busy if w.deadline is not None
+        ]
+        if self._heap and any(w.item is None for w in self._workers):
+            candidates.append(self._heap[0][0] - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    def _wait_and_collect(self, busy: List[_Worker], now: float) -> None:
+        objects: List[Any] = [w.conn for w in busy]
+        objects.extend(w.proc.sentinel for w in busy)
+        ready = connection.wait(objects, timeout=self._wait_timeout(busy, now))
+        ready_set = set(ready)
+        for worker in busy:
+            if worker.conn in ready_set:
+                self._collect_reply(worker)
+        for worker in busy:
+            if worker.item is None or worker not in self._workers:
+                continue
+            if worker.proc.sentinel in ready_set:
+                self._worker_crashed(worker)
+
+    def _collect_reply(self, worker: _Worker) -> None:
+        try:
+            reply = worker.conn.recv()
+        except (EOFError, OSError):
+            self._worker_crashed(worker)
+            return
+        digest, job, attempt = worker.item
+        worker.item = None
+        worker.deadline = None
+        self._consecutive_deaths = 0
+        if reply[0] == "ok":
+            _, _, _, payload, checksum = reply
+            if hashlib.sha256(payload).hexdigest() != checksum:
+                self._attempt_failed(
+                    digest, job, attempt, "corrupt-result",
+                    f"payload checksum mismatch ({len(payload)} bytes)",
+                    worker.pid,
+                )
+                return
+            try:
+                value = pickle.loads(payload)
+            except Exception as exc:
+                self._attempt_failed(
+                    digest, job, attempt, "corrupt-result",
+                    f"payload failed to unpickle: {type(exc).__name__}: {exc}",
+                    worker.pid,
+                )
+                return
+            self.on_result(digest, value)
+            return
+        _, _, _, exc_type, message, tb = reply
+        kind = "unpicklable" if exc_type == "UnpicklableResult" else "exception"
+        if tb:
+            self._last_tb[digest] = tb
+        self._attempt_failed(
+            digest, job, attempt, kind, f"{exc_type}: {message}",
+            worker.pid, exc_type=exc_type,
+        )
+
+    # ------------------------------------------------------------------
+    def _worker_died_idle(self, worker: _Worker) -> None:
+        self._remove_worker(worker)
+        self._note_death()
+        self._spawn()
+
+    def _worker_crashed(self, worker: _Worker) -> None:
+        digest, job, attempt = worker.item
+        detail = f"worker pid {worker.pid} {worker.death_detail()}"
+        pid = worker.pid
+        self._remove_worker(worker)
+        self._attempt_failed(digest, job, attempt, "crash", detail, pid)
+        self._note_death()
+        self._spawn()
+
+    def _note_death(self) -> None:
+        self._consecutive_deaths += 1
+        if self._consecutive_deaths >= self.degrade_after:
+            raise PoolDegraded(
+                f"pool degraded to serial after {self._consecutive_deaths} "
+                "consecutive worker deaths without progress"
+            )
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.item is None or worker.deadline is None:
+                continue
+            if now < worker.deadline:
+                continue
+            digest, job, attempt = worker.item
+            pid = worker.pid
+            self._remove_worker(worker, kill=True)
+            self._attempt_failed(
+                digest, job, attempt, "timeout",
+                f"exceeded {self.timeout_s:g}s wall clock; "
+                f"worker pid {pid} killed",
+                pid,
+            )
+            self._spawn()
+
+    def _remove_worker(self, worker: _Worker, kill: bool = False) -> None:
+        if kill:
+            worker.kill()
+        else:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.proc.join()
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    # ------------------------------------------------------------------
+    def _attempt_failed(
+        self,
+        digest: str,
+        job: Job,
+        attempt: int,
+        kind: str,
+        detail: str,
+        pid: Optional[int],
+        exc_type: Optional[str] = None,
+    ) -> None:
+        record = AttemptRecord(
+            attempt=attempt, kind=kind, detail=detail, worker_pid=pid
+        )
+        self._attempts.setdefault(digest, []).append(record)
+        permanent = is_permanent(kind, exc_type)
+        if not permanent and attempt < self.retry.max_attempts:
+            backoff = self.retry.backoff_s(digest, attempt)
+            record.backoff_s = backoff
+            self._push(digest, job, attempt + 1, time.monotonic() + backoff)
+            self.on_retry(digest, job, record)
+            return
+        failure = JobFailure(
+            digest=digest,
+            experiment=job.experiment,
+            key=job.key,
+            label=job.label,
+            attempts=list(self._attempts[digest]),
+            traceback=self._last_tb.get(digest, ""),
+            permanent=permanent,
+        )
+        self.on_failure(digest, job, failure)
+
+    # ------------------------------------------------------------------
+    def _reclaim_remaining(self) -> List[Tuple[str, Job]]:
+        """Queued + in-flight items, in deterministic sequence order."""
+        entries = list(self._heap)
+        self._heap.clear()
+        reclaimed = [
+            (seq, digest, job) for (_, seq, digest, job, _) in entries
+        ]
+        for worker in self._workers:
+            if worker.item is not None:
+                digest, job, _ = worker.item
+                # In-flight items keep their original relative order by
+                # using the sequence the pool would assign next.
+                reclaimed.append((self._seq, digest, job))
+                self._seq += 1
+                worker.item = None
+        reclaimed.sort(key=lambda entry: entry[0])
+        seen = set()
+        remaining = []
+        for _, digest, job in reclaimed:
+            if digest not in seen:
+                seen.add(digest)
+                remaining.append((digest, job))
+        return remaining
+
+    def _drain_ready(self) -> None:
+        """Collect replies already in the pipes (interrupt path)."""
+        busy = [w for w in self._workers if w.item is not None]
+        if not busy:
+            return
+        try:
+            ready = connection.wait([w.conn for w in busy], timeout=_DRAIN_S)
+        except OSError:
+            return
+        for worker in busy:
+            if worker.conn in ready:
+                try:
+                    self._collect_reply(worker)
+                except Exception:
+                    pass
+
+    def _shutdown(self) -> None:
+        for worker in list(self._workers):
+            if worker.item is None:
+                worker.stop()
+            else:
+                worker.kill()
+        self._workers.clear()

@@ -6,16 +6,20 @@ Usage::
     python -m repro fig9 [--seed 2] [--seconds 10]
     python -m repro all  [--seed 1]
     python -m repro campaign [fig8 fig9 ...] [--jobs 8] [--force]
+    python -m repro campaign --resume [--timeout 600] [--retries 3]
+    python -m repro campaign verify-cache [--purge]
     python -m repro scenario run churn [--set period_s=1.0]
     python -m repro perf [--stations 4,16,64,128] [--schedulers fifo,drr,tbr]
 
 Each experiment prints the same paper-vs-measured rendering the
 benchmark harness stores under ``benchmarks/results/``.  ``campaign``
-runs any mix of experiments across worker processes with an on-disk
-result cache (see ``repro.campaign``); ``scenario`` runs and sweeps
-the declarative workload families (see ``repro.scenario``); ``perf``
-runs the simulator scaling benchmark instead (see ``repro.perf``) and
-writes ``BENCH_perf.json``.
+runs any mix of experiments across *supervised* worker processes —
+crashed or hung jobs are retried with backoff, poison jobs are
+quarantined without sinking the rest, and interrupted runs resume from
+an on-disk checksummed result cache (see ``repro.campaign``);
+``scenario`` runs and sweeps the declarative workload families (see
+``repro.scenario``); ``perf`` runs the simulator scaling benchmark
+instead (see ``repro.perf``) and writes ``BENCH_perf.json``.
 """
 
 from __future__ import annotations

@@ -82,6 +82,14 @@ class CampaignBenchSample:
     warm_wall_s: float
     warm_executed: int  #: must be 0 — every warm job is a cache hit
     degraded_reason: Optional[str] = None
+    #: the *executor's* ``CampaignStats.degraded_reason`` from the
+    #: parallel leg: non-None means the supervised pool fell back to
+    #: serial mid-leg (repeated worker deaths), so the "parallel" wall
+    #: is really a mostly-serial wall and its speedup is not comparable.
+    executor_degraded_reason: Optional[str] = None
+    #: attempts retried across the parallel leg (0 on a healthy host);
+    #: a nonzero count flags walls inflated by retry backoff.
+    parallel_retries: int = 0
 
     @property
     def parallel_speedup(self) -> Optional[float]:
@@ -166,9 +174,13 @@ def run_campaign_bench(
         serial_wall, serial_outcome = timed(1, serial_cache)
         if progress is not None:
             progress("serial", serial_wall)
+        executor_degraded = None
+        parallel_retries = 0
         if degraded_reason is None:
             warm_cache = ResultCache(f"{tmp}/parallel")
-            parallel_wall, _ = timed(workers, warm_cache)
+            parallel_wall, parallel_outcome = timed(workers, warm_cache)
+            executor_degraded = parallel_outcome.stats.degraded_reason
+            parallel_retries = parallel_outcome.stats.retried
             if progress is not None:
                 progress("parallel", parallel_wall)
         else:
@@ -189,6 +201,8 @@ def run_campaign_bench(
         warm_wall_s=warm_wall,
         warm_executed=warm_outcome.stats.executed,
         degraded_reason=degraded_reason,
+        executor_degraded_reason=executor_degraded,
+        parallel_retries=parallel_retries,
     )
 
 
@@ -221,6 +235,8 @@ def campaign_row(sample: CampaignBenchSample) -> Dict:
         "warm_fraction": round(sample.warm_fraction, 4),
         "warm_executed": sample.warm_executed,
         "degraded_reason": sample.degraded_reason,
+        "executor_degraded_reason": sample.executor_degraded_reason,
+        "parallel_retries": sample.parallel_retries,
         "cpu_count": os.cpu_count(),
     }
 
@@ -230,9 +246,15 @@ def render_campaign(sample: CampaignBenchSample) -> str:
     if sample.parallel_wall_s is None:
         parallel_line = f"  parallel      skipped ({sample.degraded_reason})\n"
     else:
+        caveat = ""
+        if sample.executor_degraded_reason is not None:
+            caveat = f"  [degraded: {sample.executor_degraded_reason}]"
+        elif sample.parallel_retries:
+            caveat = f"  [{sample.parallel_retries} retried]"
         parallel_line = (
             f"  parallel  {sample.parallel_wall_s:8.2f}s  "
-            f"({sample.workers} workers, {sample.parallel_speedup:.2f}x)\n"
+            f"({sample.workers} workers, {sample.parallel_speedup:.2f}x)"
+            f"{caveat}\n"
         )
     return (
         "Campaign benchmark "

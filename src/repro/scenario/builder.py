@@ -33,15 +33,23 @@ inside the run:
 * **traffic on** — the station's spec'd flows are re-instantiated
   under fresh ``name@<burst>`` identities, so every burst gets its own
   named RNG stream and the run stays deterministic end to end.
+* **channel degrade** — a loss model (Bernoulli cell-wide, or per-link
+  between one station and the AP) is installed for the event's window
+  and the prior model restored when it closes; the burst RNG is seeded
+  from the spec seed and the burst ordinal, so degraded runs replay
+  byte-identically.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Set
 
+from repro.channel.loss import BernoulliLoss, PerLinkLoss
 from repro.node.cell import Cell, FlowHandle
 from repro.node.rate_control import FixedRate
 from repro.scenario.spec import (
+    ChannelDegradeEvent,
     FlowSpec,
     JoinEvent,
     LeaveEvent,
@@ -77,6 +85,7 @@ class ScenarioRuntime:
         self._burst_seq: Dict[str, int] = {}
         self._rejoin_seq: Dict[str, int] = {}
         self._departed: Set[str] = set()
+        self._degrade_seq = 0
         self.timeline_fired = 0
 
         for station in spec.stations:
@@ -178,6 +187,8 @@ class ScenarioRuntime:
             self._quiesce_station(event.station)
         elif isinstance(event, TrafficOnEvent):
             self._burst_on(event.station)
+        elif isinstance(event, ChannelDegradeEvent):
+            self._degrade_channel(event)
         else:  # pragma: no cover - spec.validate() rejects unknown kinds
             raise TypeError(f"unknown timeline event {event!r}")
 
@@ -257,6 +268,46 @@ class ScenarioRuntime:
             flows, self._flow_names(flows, suffix=f"@{seq}")
         ):
             self._start_flow(flow, name=flow_name)
+
+    def _degrade_channel(self, event: ChannelDegradeEvent) -> None:
+        """Install a loss burst; restore the prior model when it ends.
+
+        The installed model's RNG is seeded from the spec seed and the
+        burst's ordinal, never from the channel's own stream — so a
+        degrade window perturbs frame outcomes identically run to run.
+        The restore is scheduled as plain builder machinery (it does
+        not advance ``timeline_fired``) and is skipped if a later
+        degrade superseded this one before it closed.
+        """
+        self._degrade_seq += 1
+        rng = random.Random(
+            f"{self.spec.seed}:degrade:{self._degrade_seq}"
+        )
+        if event.station is None:
+            model = BernoulliLoss(event.loss_probability, rng=rng)
+        else:
+            ap = self.cell.ap.address
+            model = PerLinkLoss(
+                {
+                    (event.station, ap): event.loss_probability,
+                    (ap, event.station): event.loss_probability,
+                },
+                rng=rng,
+            )
+        prior = self.cell.channel.loss
+        self.cell.channel.loss = model
+        # Fires at ``at_s + duration_s``: we are at ``at_s`` right now.
+        self.cell.sim.schedule(
+            us_from_s(event.duration_s),
+            self._restore_loss,
+            model,
+            prior,
+            category=EventCategory.OTHER,
+        )
+
+    def _restore_loss(self, installed, prior) -> None:
+        if self.cell.channel.loss is installed:
+            self.cell.channel.loss = prior
 
     # ------------------------------------------------------------------
     # running and reporting

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional
 # re-runs coalesce across both CLIs).
 from repro.campaign.cli import DEFAULT_CACHE_DIR
 from repro.scenario.registry import FAMILIES, build_spec, sweep_specs
-from repro.scenario.runner import render_result, run_spec, scenario_job
+from repro.scenario.runner import render_result, run_spec, run_sweep
 
 
 def _coerce(text: str) -> Any:
@@ -100,6 +100,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--force", action="store_true")
     sweep_p.add_argument("--quiet", action="store_true")
+    sweep_p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock budget; hung points are killed and "
+        "retried (workers > 1 only)",
+    )
+    sweep_p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per point before quarantine",
+    )
+    sweep_p.add_argument(
+        "--partial", action="store_true",
+        help="exit 0 even when points were quarantined",
+    )
 
     args = parser.parse_args(argv)
 
@@ -160,6 +173,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be positive", file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 1:
+        print("--retries must be >= 1", file=sys.stderr)
+        return 2
     try:
         axes = {
             key: [_coerce(v) for v in value.split(",") if v]
@@ -182,27 +201,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     from repro.campaign.cache import ResultCache
-    from repro.campaign.executor import run_jobs
+    from repro.campaign.executor import quarantine_report
+    from repro.campaign.policy import RetryPolicy
 
-    jobs = [scenario_job(spec, key=spec.name) for spec in specs]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    retry = (
+        RetryPolicy(max_attempts=args.retries)
+        if args.retries is not None
+        else None
+    )
 
     def progress(event: str, job, done: int, total: int) -> None:
         if not args.quiet:
             print(f"  [{done}/{total}] {job.label} ({event})")
 
-    outcome = run_jobs(
-        jobs,
+    outcome = run_sweep(
+        specs,
         workers=args.jobs,
         cache=cache,
         force=args.force,
         progress=progress,
+        retry=retry,
+        timeout_s=args.timeout,
     )
     by_key = outcome.experiment_results("scenario")
     for spec in specs:
+        if spec.name not in by_key:
+            print(f"[{spec.name}: not rendered — job quarantined]")
+            print()
+            continue
         print(render_result(by_key[spec.name]))
         print()
+    report = quarantine_report(outcome)
+    if report:
+        print(report)
+        print()
     print(outcome.stats.summary())
+    if outcome.stats.interrupted:
+        return 130
+    if outcome.failures and not args.partial:
+        return 1
     return 0
 
 

@@ -12,7 +12,7 @@ cache exactly like the figure/table reproductions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional
 
 from repro.campaign.job import Job, make_job
 from repro.scenario.builder import ScenarioRuntime
@@ -100,6 +100,42 @@ def scenario_job(
         spec.name if key is None else key,
         SCENARIO_EXECUTOR,
         {"spec": spec},
+    )
+
+
+def run_sweep(
+    specs: Iterable[ScenarioSpec],
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    force: bool = False,
+    progress: Optional[Callable[..., None]] = None,
+    retry=None,
+    timeout_s: Optional[float] = None,
+):
+    """Fan a batch of specs out through the supervised campaign executor.
+
+    Thin wrapper over :func:`repro.campaign.executor.run_jobs` that
+    builds one :func:`scenario_job` per spec (keyed by ``spec.name``)
+    and threads through the fault-tolerance knobs — retry policy and
+    per-job timeout — so scenario sweeps get the same crash isolation,
+    quarantine and partial-completion semantics as the figure/table
+    campaigns.  Returns the :class:`~repro.campaign.executor.\
+CampaignOutcome`; per-spec results are under
+    ``outcome.experiment_results("scenario")`` keyed by spec name, and
+    quarantined specs appear in ``outcome.failures`` instead.
+    """
+    from repro.campaign.executor import run_jobs
+
+    jobs = [scenario_job(spec, key=spec.name) for spec in specs]
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        force=force,
+        progress=progress,
+        retry=retry,
+        timeout_s=timeout_s,
     )
 
 

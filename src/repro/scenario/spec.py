@@ -183,6 +183,26 @@ class TrafficOnEvent:
     station: str
 
 
+@dataclass(frozen=True)
+class ChannelDegradeEvent:
+    """The channel degrades at ``at_s`` for ``duration_s`` seconds.
+
+    While the window is open, frames are lost i.i.d. with
+    ``loss_probability`` — on every link when ``station`` is ``None``,
+    or only between the named station and the AP (both directions) —
+    emulating an interference burst or a fade.  The previous loss model
+    is restored when the window closes (the restore is builder
+    machinery, not a timeline event: it does not count toward
+    ``timeline_fired``).  The loss RNG is seeded from the spec seed and
+    the event's position, so degraded runs stay deterministic.
+    """
+
+    at_s: float
+    duration_s: float
+    loss_probability: float
+    station: Optional[str] = None
+
+
 TimelineEvent = Union[
     JoinEvent,
     LeaveEvent,
@@ -190,6 +210,7 @@ TimelineEvent = Union[
     RateSwitchEvent,
     TrafficOffEvent,
     TrafficOnEvent,
+    ChannelDegradeEvent,
 ]
 
 
@@ -287,6 +308,7 @@ class ScenarioSpec:
             RateSwitchEvent,
             TrafficOffEvent,
             TrafficOnEvent,
+            ChannelDegradeEvent,
         )
         for event in self.timeline:
             if not isinstance(event, known_events):
@@ -315,6 +337,22 @@ class ScenarioSpec:
                             f"the joining station {event.station.name!r}, "
                             f"not {flow.station!r}"
                         )
+            elif isinstance(event, ChannelDegradeEvent):
+                if not 0.0 <= event.loss_probability <= 1.0:
+                    raise ValueError(
+                        f"channel degrade at {event.at_s}s: "
+                        "loss_probability must be in [0, 1]"
+                    )
+                if event.duration_s <= 0:
+                    raise ValueError(
+                        f"channel degrade at {event.at_s}s: duration_s "
+                        "must be positive"
+                    )
+                if event.station is not None and event.station not in present:
+                    raise ValueError(
+                        f"channel degrade at {event.at_s}s references "
+                        f"unknown station {event.station!r}"
+                    )
             else:
                 active = present.get(event.station)
                 if active is None:
