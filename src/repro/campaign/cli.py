@@ -34,6 +34,7 @@ from typing import List, Optional
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executor import quarantine_report, run_jobs
+from repro.campaign.faults import FaultPlanError
 from repro.campaign.job import Job
 from repro.campaign.manifest import RunManifest, campaign_digest
 from repro.campaign.policy import RetryPolicy
@@ -231,17 +232,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.quiet:
             print(f"  [{done}/{total}] {job.label} ({event})")
 
-    outcome = run_jobs(
-        jobs,
-        workers=args.jobs,
-        cache=cache,
-        force=args.force,
-        progress=progress,
-        retry=retry,
-        timeout_s=args.timeout,
-        manifest=manifest,
-        skip_failed=skip_failed,
-    )
+    try:
+        outcome = run_jobs(
+            jobs,
+            workers=args.jobs,
+            cache=cache,
+            force=args.force,
+            progress=progress,
+            retry=retry,
+            timeout_s=args.timeout,
+            manifest=manifest,
+            skip_failed=skip_failed,
+        )
+    except FaultPlanError as exc:
+        # A malformed REPRO_CAMPAIGN_FAULTS plan is a usage error — name
+        # the problem and exit 2 instead of unwinding with a traceback.
+        print(str(exc), file=sys.stderr)
+        return 2
 
     failed_experiments = set(outcome.failed_experiments())
     incomplete = failed_experiments | (

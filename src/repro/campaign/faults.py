@@ -49,6 +49,20 @@ in_worker = False
 #:   check, costs one attempt).
 ACTIONS = ("kill", "exit", "hang", "raise", "fail", "corrupt")
 
+#: Characters a job digest is made of (lowercase sha256 hexdigest) —
+#: any prefix of one must stay inside this alphabet.
+_HEX = frozenset("0123456789abcdef")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed to parse or validate.
+
+    Raised with a message that names what was wrong (bad JSON, missing
+    key, unknown action, non-hex digest prefix) so a typo'd
+    ``REPRO_CAMPAIGN_FAULTS`` produces a usage error, not a traceback
+    from deep inside the executor.
+    """
+
 
 @dataclass(frozen=True)
 class Fault:
@@ -66,6 +80,14 @@ class Fault:
             )
         if self.attempt < 0:
             raise ValueError("fault attempt must be >= 0 (0 = every attempt)")
+        if not _HEX.issuperset(self.digest_prefix):
+            # Job digests are lowercase sha256 hex; a prefix outside
+            # that alphabet can never match and is always a typo.  The
+            # empty prefix stays valid (matches every job).
+            raise ValueError(
+                f"fault digest_prefix {self.digest_prefix!r} is not a "
+                "lowercase-hex digest prefix"
+            )
 
     def matches(self, digest: str, attempt: int) -> bool:
         return digest.startswith(self.digest_prefix) and self.attempt in (
@@ -100,25 +122,59 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
-        entries = json.loads(text)
-        return cls(
-            faults=tuple(
-                Fault(
-                    digest_prefix=str(e["digest_prefix"]),
-                    attempt=int(e.get("attempt", 0)),
-                    action=str(e["action"]),
-                )
-                for e in entries
+        """Parse a plan, raising :class:`FaultPlanError` on anything
+        malformed — invalid JSON, wrong shape, missing keys, bad
+        attempt numbers, unknown actions, non-hex digest prefixes."""
+        try:
+            entries = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(entries, list):
+            raise FaultPlanError(
+                "fault plan must be a JSON array of fault objects, got "
+                f"{type(entries).__name__}"
             )
-        )
+        faults = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise FaultPlanError(
+                    f"fault #{index} must be an object, got "
+                    f"{type(entry).__name__}"
+                )
+            try:
+                faults.append(
+                    Fault(
+                        digest_prefix=str(entry["digest_prefix"]),
+                        attempt=int(entry.get("attempt", 0)),
+                        action=str(entry["action"]),
+                    )
+                )
+            except KeyError as exc:
+                raise FaultPlanError(
+                    f"fault #{index} is missing required key "
+                    f"{exc.args[0]!r}"
+                ) from exc
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(f"fault #{index}: {exc}") from exc
+        return cls(faults=tuple(faults))
 
     @classmethod
     def from_env(cls) -> Optional["FaultPlan"]:
-        """The plan named by :data:`FAULTS_ENV`, or ``None``."""
+        """The plan named by :data:`FAULTS_ENV`, or ``None``.
+
+        A malformed plan raises :class:`FaultPlanError` naming the
+        environment variable, so CLI entry points can turn it into a
+        clean usage error instead of a traceback.
+        """
         text = os.environ.get(FAULTS_ENV)
         if not text:
             return None
-        return cls.from_json(text)
+        try:
+            return cls.from_json(text)
+        except FaultPlanError as exc:
+            raise FaultPlanError(f"{FAULTS_ENV}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

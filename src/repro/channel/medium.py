@@ -313,6 +313,19 @@ class Channel:
         return [winner] if winner is not None else []
 
     # ------------------------------------------------------------------
+    def abort(self, tx: Transmission) -> None:
+        """Corrupt an in-flight transmission (its sender died mid-TX).
+
+        The carrier keeps occupying the medium until the scheduled
+        frame end — the energy is already on the air — but the frame is
+        marked collided, so it delivers to no destination and observers
+        see a corrupted frame end (EIFS recovery), exactly as if the
+        transmitter's PLL had dropped out.  No-op for a transmission
+        that already ended.
+        """
+        if tx in self.active:
+            tx.collided = True
+
     def _end(self, tx: Transmission) -> None:
         self.active.remove(tx)
         now = self.sim.now

@@ -23,6 +23,7 @@ from repro.experiments import (
     table4,
     ablations,
     fairness_churn,
+    fairness_outage,
 )
 
 REGISTRY = {
@@ -38,6 +39,7 @@ REGISTRY = {
     "table3": table3,
     "table4": table4,
     "fairness-churn": fairness_churn,
+    "fairness-outage": fairness_outage,
 }
 
 __all__ = [
@@ -55,4 +57,5 @@ __all__ = [
     "table4",
     "ablations",
     "fairness_churn",
+    "fairness_outage",
 ]

@@ -1,0 +1,251 @@
+"""Fairness across an AP blackout: occupancy re-convergence after outage.
+
+The harshest membership change a cell can see is not one station
+leaving — it is the AP itself going dark: every association drops at
+once, queued downlink packets flush back to the pool, an in-flight
+frame is cut mid-air, and on recovery the whole population
+re-associates in a seeded, jittered stampede.  The paper's fairness
+claim has to survive that: once the dust settles, each station's share
+of the attributed channel time must return to 1/n_active, and under
+TBR each re-associating station receives its initial token grant
+exactly once (the ``fairness-outage`` scenario family drives the
+re-association through the same lifecycle path as a first join).
+
+The run splits into three phases — *before* the outage, *down* (AP
+dark plus the rejoin jitter window), and *after* — and the reduction
+probes the after phase in windows of FILLEVENTs for the first in which
+every station's share sits within tolerance of fair.  TBR re-converges
+within a bounded number of FILLEVENTs; the FIFO baseline re-associates
+just as fast but re-converges to the *anomaly* (the slow station's
+share balloons), which is exactly the contrast worth pinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.campaign.executor import serial_results
+from repro.campaign.job import Job, make_job
+from repro.core.tbr import TbrConfig
+from repro.experiments.common import fmt_frac, fmt_table
+from repro.scenario.builder import ScenarioRuntime
+from repro.scenario.registry import build_spec, fairness_outage_phases
+from repro.scenario.spec import ApOutageEvent, ScenarioSpec
+from repro.sim import us_from_s
+
+FAMILY = "fairness-outage"
+PHASES = ("before", "down", "after")
+SCHEDULERS = ("fifo", "tbr")
+
+#: A phase share within this distance of 1/n_active counts as fair.
+SHARE_TOLERANCE = 0.12
+#: Width of the post-recovery convergence probe window, in FILLEVENTs.
+CONVERGE_WINDOW_FILLS = 25
+
+#: Executor address for :func:`execute_outage` (what workers import).
+OUTAGE_EXECUTOR = "repro.experiments.fairness_outage:execute_outage"
+
+
+@dataclass
+class OutagePhaseRun:
+    """One scheduler's run, reduced to per-phase occupancy shares."""
+
+    scheduler: str
+    seed: int
+    seconds: float
+    #: phase -> station -> share of the phase's attributed airtime.
+    shares: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: number of stations associated outside the outage window.
+    n_active: int = 0
+    #: total airtime attributed during the *down* phase.  The cell is
+    #: silent while the AP is dark; what shows up here is the rejoin
+    #: stampede in the jitter tail (re-association and the first
+    #: post-recovery exchanges).
+    down_airtime_us: float = 0.0
+    #: FILLEVENTs after recovery until every station's windowed share
+    #: is within SHARE_TOLERANCE of 1/n_active (``None`` = never).
+    converge_fills: Optional[int] = None
+
+
+@dataclass
+class FairnessOutageResult:
+    runs: Dict[str, OutagePhaseRun]  # scheduler -> reduced run
+
+    @property
+    def tbr(self) -> OutagePhaseRun:
+        return self.runs["tbr"]
+
+    @property
+    def fifo(self) -> OutagePhaseRun:
+        return self.runs["fifo"]
+
+
+def _phase_of(time_us: float, down_us: float, up_us: float) -> str:
+    if time_us < down_us:
+        return "before"
+    if time_us < up_us:
+        return "down"
+    return "after"
+
+
+def _shares(occupancy: Mapping[str, float]) -> Dict[str, float]:
+    total = sum(occupancy.values())
+    if total <= 0:
+        return {station: 0.0 for station in occupancy}
+    return {station: used / total for station, used in occupancy.items()}
+
+
+def execute_outage(params: Dict[str, object]) -> OutagePhaseRun:
+    """Job executor: ``params`` carries the (thawed) fairness-outage spec.
+
+    Phase boundaries, population and scheduler are all read off the
+    spec, so the campaign cache digest covers the full configuration.
+    """
+    spec = params["spec"]
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"fairness-outage job params must carry a ScenarioSpec, "
+            f"got {type(spec).__name__}"
+        )
+    outage = next(
+        e for e in spec.timeline if isinstance(e, ApOutageEvent)
+    )
+    down_us = us_from_s(outage.at_s)
+    up_us = us_from_s(
+        outage.at_s + outage.duration_s + outage.rejoin_jitter_s
+    )
+
+    runtime = ScenarioRuntime(spec)
+    cell = runtime.cell
+    cell.usage.keep_records = True
+    runtime.run()
+
+    stations = [s.name for s in spec.stations]
+    phase_occupancy: Dict[str, Dict[str, float]] = {
+        phase: {station: 0.0 for station in stations} for phase in PHASES
+    }
+    for record in cell.usage.records:
+        phase_occupancy[_phase_of(record.time, down_us, up_us)][
+            record.station
+        ] += record.airtime_us
+
+    run = OutagePhaseRun(
+        scheduler=spec.scheduler,
+        seed=spec.seed,
+        seconds=spec.seconds,
+        shares={
+            phase: _shares(phase_occupancy[phase]) for phase in PHASES
+        },
+        n_active=len(stations),
+        down_airtime_us=sum(phase_occupancy["down"].values()),
+    )
+
+    # Post-recovery convergence: walk contiguous windows of
+    # CONVERGE_WINDOW_FILLS fill intervals through the after phase and
+    # find the first whose shares are all within tolerance of fair.
+    fill_us = (spec.tbr_config or TbrConfig()).fill_interval_us
+    window_us = CONVERGE_WINDOW_FILLS * fill_us
+    horizon_us = us_from_s(spec.warmup_seconds + spec.seconds)
+    after = [r for r in cell.usage.records if r.time >= up_us]
+    fair = 1.0 / len(stations)
+    window = 1
+    while up_us + window * window_us <= horizon_us:
+        lo = up_us + (window - 1) * window_us
+        hi = lo + window_us
+        occupancy = {station: 0.0 for station in stations}
+        for record in after:
+            if lo <= record.time < hi and record.station in occupancy:
+                occupancy[record.station] += record.airtime_us
+        shares = _shares(occupancy)
+        if all(
+            abs(shares[s] - fair) <= SHARE_TOLERANCE for s in stations
+        ):
+            run.converge_fills = window * CONVERGE_WINDOW_FILLS
+            break
+        window += 1
+    return run
+
+
+def jobs(seed: int = 1, seconds: float = 9.0) -> List[Job]:
+    # The frozen spec IS the job config (same pattern as fairness-
+    # churn): its content digest covers every knob, including the
+    # family defaults resolved here at job-build time.
+    return [
+        make_job(
+            "fairness-outage",
+            scheduler,
+            OUTAGE_EXECUTOR,
+            {
+                "spec": build_spec(
+                    FAMILY, scheduler=scheduler, seed=seed, seconds=seconds
+                )
+            },
+        )
+        for scheduler in SCHEDULERS
+    ]
+
+
+def reduce(results: Mapping[str, OutagePhaseRun]) -> FairnessOutageResult:
+    return FairnessOutageResult(runs={s: results[s] for s in SCHEDULERS})
+
+
+def run(seed: int = 1, seconds: float = 9.0) -> FairnessOutageResult:
+    return reduce(serial_results(jobs(seed=seed, seconds=seconds)))
+
+
+def render(result: FairnessOutageResult) -> str:
+    blocks: List[str] = []
+    for scheduler in SCHEDULERS:
+        reduced = result.runs[scheduler]
+        stations = sorted(reduced.shares["before"])
+        rows = []
+        for station in stations:
+            rows.append(
+                [station]
+                + [
+                    fmt_frac(reduced.shares[p].get(station, 0.0))
+                    for p in PHASES
+                ]
+            )
+        fair = 1.0 / reduced.n_active
+        rows.append(
+            ["1/n_active", fmt_frac(fair), "-", fmt_frac(fair)]
+        )
+        table = fmt_table(
+            ["station", "before", "down", "after"],
+            rows,
+            title=(
+                f"Fairness across an AP outage ({scheduler}, seed "
+                f"{reduced.seed}, {reduced.seconds:g} s): occupancy "
+                "share per phase"
+            ),
+        )
+        if reduced.converge_fills is None:
+            note = (
+                "post-recovery shares never settled within "
+                f"{SHARE_TOLERANCE:g} of 1/n_active"
+            )
+        else:
+            note = (
+                "post-recovery shares within "
+                f"{SHARE_TOLERANCE:g} of 1/n_active after "
+                f"{reduced.converge_fills} FILLEVENTs"
+            )
+        blocks.append(f"{table}\n{note}")
+    return "\n\n".join(blocks)
+
+
+__all__ = [
+    "FAMILY",
+    "PHASES",
+    "SCHEDULERS",
+    "FairnessOutageResult",
+    "OutagePhaseRun",
+    "execute_outage",
+    "fairness_outage_phases",
+    "jobs",
+    "reduce",
+    "render",
+    "run",
+]

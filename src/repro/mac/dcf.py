@@ -150,6 +150,10 @@ class DcfMac:
         #: called for every received ACK/data frame carrying a defer hint
         #: (TBR client cooperation, paper Section 4.1).
         self.defer_hint_handler: Optional[Callable[[float], None]] = None
+        #: called as (dst,) when a frame toward ``dst`` exhausts its
+        #: retry limit and is dropped — the AP's inactivity reaper uses
+        #: consecutive exhaustions as evidence of a dead peer.
+        self.retry_exhausted_listener: Optional[Callable[[str], None]] = None
 
         # Current outgoing frame.
         self._current: Optional[Frame] = None
@@ -176,6 +180,9 @@ class DcfMac:
         self._ack_timeout_spare = None
         self._awaiting_ack_for: Optional[Frame] = None
         self._transmitting = False
+        #: the live Transmission handle while a data frame is on the air
+        #: (lets shutdown(abort_in_flight=True) corrupt it in place).
+        self._current_tx = None
         #: precomputed ACK-timeout tail: SIFS + slot + ACK airtime at
         #: the lowest basic rate (pure function of the PHY).
         self._ack_timeout_base = (
@@ -226,16 +233,20 @@ class DcfMac:
     ) -> None:
         self.completion_listeners.append(listener)
 
-    def shutdown(self) -> None:
-        """Tear this MAC down (station disassociation).
+    def shutdown(self, *, abort_in_flight: bool = False) -> None:
+        """Tear this MAC down (station disassociation / AP outage).
 
         Cancels every pending MAC event (backoff countdown, ACK
         response, ACK timeout), abandons the loaded frame — releasing a
         pooled packet back to its freelist — and detaches from the
         channel, so no further carrier or frame notifications reach
-        this entity.  A frame this MAC already put on the air still
-        ends normally at the channel (its peers observe the frame end);
-        the exchange itself is simply never completed.  Idempotent.
+        this entity.  By default a frame this MAC already put on the
+        air still ends normally at the channel (its peers observe the
+        frame end); the exchange itself is simply never completed.
+        With ``abort_in_flight=True`` (an ungraceful death: AP outage)
+        the in-flight transmission is corrupted in place — the carrier
+        still occupies the medium until the scheduled frame end, but
+        nothing delivers, and the packet is reclaimed.  Idempotent.
         """
         self._cancel_countdown()
         self._backoff_active = False
@@ -251,14 +262,53 @@ class DcfMac:
         self._burst_continuation = False
         frame = self._current
         self._current = None
-        if frame is not None and frame.packet is not None and not self._transmitting:
+        aborted = False
+        if abort_in_flight and self._transmitting and self._current_tx is not None:
+            self.channel.abort(self._current_tx)
+            aborted = True
+        self._current_tx = None
+        if frame is not None and frame.packet is not None and (
+            not self._transmitting or aborted
+        ):
             # A frame still on the air is delivered to its destination
             # at frame end — its packet must not be recycled under the
-            # receiver; abandoning it to the GC is the safe loss.
+            # receiver; abandoning it to the GC is the safe loss.  An
+            # *aborted* frame is corrupted at the channel and delivers
+            # nowhere, so its packet is safe to reclaim.
             try_release(frame.packet)
         self._transmitting = False
         self.scheduler = None
         self.channel.detach(self)
+
+    def restart(self) -> None:
+        """Bring a shut-down MAC back on the air (AP outage recovery).
+
+        Re-attaches to the channel with fresh contention state (CW at
+        minimum, no EIFS debt, no loaded frame).  The receive dedup map
+        survives: frame sequence numbers are globally unique, so stale
+        entries can never mask fresh traffic, and keeping them means a
+        data frame ACKed just before the outage is still recognized as
+        a duplicate if the peer retries it after recovery.  A scheduler
+        must be (re-)attached separately via :meth:`attach_scheduler`.
+        """
+        if self.channel.is_attached(self):
+            return
+        self._current = None
+        self._current_tx = None
+        self._attempts = 0
+        self._airtime_accum = 0.0
+        self._cw = self.phy.cw_min
+        self._backoff_active = False
+        self._bo_slots = 0
+        self._transmitting = False
+        self._awaiting_ack_for = None
+        self._burst_remaining = 0
+        self._burst_continuation = False
+        self._completing = False
+        self._use_eifs = False
+        self.channel.attach(self)
+        self.channel.carrier_unsubscribe(self)
+        self.channel.frame_end_filtered(self)
 
     def rate_for(self, dst: str) -> float:
         if self._rate_provider is not None:
@@ -413,7 +463,7 @@ class DcfMac:
         ifs = self.phy.sifs_us if self._burst_continuation else self._current_ifs()
         self._airtime_accum += ifs + duration
         self._transmitting = True
-        self.channel.transmit(frame, duration)
+        self._current_tx = self.channel.transmit(frame, duration)
         if frame.is_broadcast:
             self.sim.schedule(
                 duration, self._broadcast_done, priority=EventPriority.PHY,
@@ -451,7 +501,12 @@ class DcfMac:
         if self.attempt_listener is not None:
             self.attempt_listener(frame.dst, False)
         if self._attempts >= self.config.max_attempts:
+            # Retry-limit exhaustion is a first-class outcome: the frame
+            # is dropped (released to its pool by _finish_exchange), the
+            # scheduler sees success=False, and the reaper hook fires.
             self.tx_dropped += 1
+            if self.retry_exhausted_listener is not None:
+                self.retry_exhausted_listener(frame.dst)
             self._finish_exchange(frame, success=False)
             return
         # Exponential backoff and retry.

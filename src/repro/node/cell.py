@@ -184,6 +184,62 @@ class Cell:
         if isinstance(self.ap.rate_controller, FixedRate):
             self.ap.rate_controller.table.pop(name, None)
 
+    def crash_station(self, name: str) -> None:
+        """The station dies *without* disassociating (ungraceful).
+
+        Only the station's own side is torn down — its MAC stops
+        answering and detaches, its queue empties — while every piece
+        of AP-side state stays allocated: the downlink queue keeps
+        admitting packets, the pinned downlink rate stays, and under
+        TBR the token bucket keeps its rate (stranding the survivors'
+        shares below ``1/n_active``).  Recovery is the inactivity
+        reaper's job (see :meth:`enable_reaper`); without one the
+        strand persists — which is exactly the regression the runtime
+        sanitizer's live-share invariant catches.  Unknown names no-op.
+        """
+        station = self.stations.pop(name, None)
+        if station is None:
+            return
+        station.shutdown()
+
+    def enable_reaper(self, config=None, *, on_reap=None) -> None:
+        """Arm the AP's dead-peer detection.
+
+        ``config`` is a :class:`repro.node.access_point.ReaperConfig`
+        (defaults apply when ``None``).  A reaped station goes through
+        the same teardown as :meth:`remove_station` — scheduler
+        disassociate (queue flushed, TBR bucket retired, survivors
+        renormalized) and pinned-rate cleanup — except its own Station
+        object, if it crashed, is already gone.  ``on_reap`` is called
+        with the station name *after* the teardown (the scenario layer
+        uses it to stop the dead station's remaining traffic sources).
+        """
+        from repro.node.access_point import ReaperConfig
+
+        self._on_reap_hook = on_reap
+        self.ap.enable_reaper(
+            config if config is not None else ReaperConfig(), self._reap
+        )
+
+    def _reap(self, name: str) -> None:
+        self._reap_teardown(name)
+        hook = getattr(self, "_on_reap_hook", None)
+        if hook is not None:
+            hook(name)
+
+    def _reap_teardown(self, name: str) -> None:
+        if name in self.stations:
+            # Still alive on our books (e.g. a live station behind a
+            # hopeless link): full teardown, same as remove_station.
+            self.remove_station(name)
+            return
+        # Crashed: the Station object is gone, but the scheduler and
+        # rate table never heard — disassociate directly so the queue
+        # flushes and TBR's survivors renormalize to 1/n_active.
+        self.scheduler.disassociate(name)
+        if isinstance(self.ap.rate_controller, FixedRate):
+            self.ap.rate_controller.table.pop(name, None)
+
     # ------------------------------------------------------------------
     # usage accounting (true occupancy, both directions)
     # ------------------------------------------------------------------

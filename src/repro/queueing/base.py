@@ -92,6 +92,10 @@ class ApScheduler:
         self.refused_departed = 0
         #: packets flushed (and released) by :meth:`disassociate`.
         self.flushed_on_disassociate = 0
+        #: dequeued packets whose MAC exchange failed outright (retry
+        #: limit exhausted) — the frame was dropped on the air, not in
+        #: a queue, so drop-tail counters never see it.
+        self.tx_failed = 0
         #: (packet, airtime_us, success, attempts, rate) listeners.
         self.completion_listeners: List[Callable] = []
 
@@ -242,6 +246,8 @@ class ApScheduler:
         self, packet: Any, airtime_us: float, success: bool, attempts: int,
         rate_mbps: float,
     ) -> None:
+        if not success:
+            self.tx_failed += 1
         for listener in self.completion_listeners:
             listener(packet, airtime_us, success, attempts, rate_mbps)
 

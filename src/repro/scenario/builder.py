@@ -37,7 +37,23 @@ inside the run:
   between one station and the AP) is installed for the event's window
   and the prior model restored when it closes; the burst RNG is seeded
   from the spec seed and the burst ordinal, so degraded runs replay
-  byte-identically.
+  byte-identically.  Overlapping windows stack: each close re-exposes
+  the newest still-open window's model (or the base model), whether
+  the windows nest or interleave.
+* **ap outage** — every associated station is torn down through the
+  leave path (an AP that died cannot serve anyone), then the AP's MAC
+  shuts down with its in-flight frame aborted on the air.  Recovery
+  ``duration_s`` later restarts the MAC and schedules each survivor's
+  rejoin after an individual spec-seeded jitter delay — the ordinary
+  rejoin machinery, so TBR grants ``T_init`` exactly once per rejoin.
+* **station crash** — the station vanishes without disassociating:
+  its uplink sources are quiesced (a dead station sends nothing) but
+  its *downlink* flows keep offering traffic, and no AP-side state is
+  torn down — the retry-exhaustion storm toward the silent peer is
+  what arms the inactivity reaper (``spec.reaper``), which then drives
+  the ordinary disassociate path.  Without a reaper the stranded token
+  rate persists, which the runtime sanitizer's live-share invariant
+  flags.
 """
 
 from __future__ import annotations
@@ -49,6 +65,7 @@ from repro.channel.loss import BernoulliLoss, PerLinkLoss
 from repro.node.cell import Cell, FlowHandle
 from repro.node.rate_control import FixedRate
 from repro.scenario.spec import (
+    ApOutageEvent,
     ChannelDegradeEvent,
     FlowSpec,
     JoinEvent,
@@ -56,6 +73,7 @@ from repro.scenario.spec import (
     RateSwitchEvent,
     RejoinEvent,
     ScenarioSpec,
+    StationCrashEvent,
     StationSpec,
     TrafficOffEvent,
     TrafficOnEvent,
@@ -65,11 +83,26 @@ from repro.transport.apps import PacedApp
 
 
 class ScenarioRuntime:
-    """A compiled scenario: the cell plus the timeline machinery."""
+    """A compiled scenario: the cell plus the timeline machinery.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    ``sanitize`` arms the runtime invariant sanitizer
+    (:mod:`repro.sim.sanitizer`) for this run; ``None`` (the default)
+    defers to the ``REPRO_SANITIZE`` environment switch.  Sanitized
+    runs execute the identical event sequence — the sanitizer only
+    observes — so results stay byte-identical either way.
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, *, sanitize: Optional[bool] = None
+    ) -> None:
         spec.validate()
         self.spec = spec
+        if sanitize is None:
+            from repro.sim.sanitizer import sanitize_enabled
+
+            sanitize = sanitize_enabled()
+        self.sanitize = sanitize
+        self.sanitizer = None
         self.cell = Cell(
             seed=spec.seed,
             scheduler=spec.scheduler,
@@ -85,8 +118,26 @@ class ScenarioRuntime:
         self._burst_seq: Dict[str, int] = {}
         self._rejoin_seq: Dict[str, int] = {}
         self._departed: Set[str] = set()
+        self._crashed: Set[str] = set()
         self._degrade_seq = 0
+        #: still-open degrade windows' models, oldest first; closing one
+        #: re-exposes the newest remaining (or the base model), so
+        #: nested and interleaved windows both restore correctly.
+        self._degrade_stack: List = []
+        self._degrade_base = None
+        self._outage_seq = 0
         self.timeline_fired = 0
+
+        if spec.reaper is not None:
+            from repro.node.access_point import ReaperConfig
+
+            self.cell.enable_reaper(
+                ReaperConfig(
+                    exhaustion_threshold=spec.reaper.exhaustion_threshold,
+                    idle_timeout_us=us_from_s(spec.reaper.idle_timeout_s),
+                ),
+                on_reap=self._on_reaped,
+            )
 
         for station in spec.stations:
             self._add_station(
@@ -189,6 +240,10 @@ class ScenarioRuntime:
             self._burst_on(event.station)
         elif isinstance(event, ChannelDegradeEvent):
             self._degrade_channel(event)
+        elif isinstance(event, ApOutageEvent):
+            self._ap_outage(event)
+        elif isinstance(event, StationCrashEvent):
+            self._crash(event.station)
         else:  # pragma: no cover - spec.validate() rejects unknown kinds
             raise TypeError(f"unknown timeline event {event!r}")
 
@@ -197,6 +252,66 @@ class ScenarioRuntime:
         self._quiesce_station(name)
         self._departed.add(name)
         self.cell.remove_station(name)
+
+    def _crash(self, name: str) -> None:
+        """Ungraceful death: the station vanishes, AP state stays.
+
+        Uplink sources stop (a dead station offers nothing of its own)
+        but downlink flows keep sending toward the silent peer — the
+        resulting retry-exhaustion storm is the reaper's evidence.  No
+        AP-side teardown happens here by design.
+        """
+        survivors = []
+        for handle in self._active.get(name, ()):
+            if handle.direction == "up":
+                self._quiesce_flow(handle)
+            else:
+                survivors.append(handle)
+        self._active[name] = survivors
+        self._departed.add(name)
+        self._crashed.add(name)
+        self.cell.crash_station(name)
+
+    def _on_reaped(self, name: str) -> None:
+        """The AP declared ``name`` dead and tore its state down;
+        stop the remaining (downlink) sources so the wire does not keep
+        offering traffic the scheduler will only refuse."""
+        self._quiesce_station(name)
+
+    def _ap_outage(self, event: ApOutageEvent) -> None:
+        """The AP dies: everyone present is torn down, the AP's MAC
+        goes dark (in-flight frame aborted), and recovery is scheduled.
+
+        Rejoin delays are drawn *now* from an RNG seeded by the spec
+        seed and the outage ordinal — pure builder machinery, replayed
+        byte-identically run to run.
+        """
+        self._outage_seq += 1
+        survivors = list(self.cell.stations)
+        for name in survivors:
+            self._leave(name)
+        self.cell.ap.outage_begin()
+        rng = random.Random(f"{self.spec.seed}:outage:{self._outage_seq}")
+        delays = [
+            rng.uniform(0.0, event.rejoin_jitter_s) for _ in survivors
+        ]
+        self.cell.sim.schedule(
+            us_from_s(event.duration_s),
+            self._ap_recover,
+            survivors,
+            delays,
+            category=EventCategory.OTHER,
+        )
+
+    def _ap_recover(self, survivors: List[str], delays: List[float]) -> None:
+        self.cell.ap.outage_end()
+        for name, delay in zip(survivors, delays):
+            self.cell.sim.schedule(
+                us_from_s(delay),
+                self._rejoin,
+                name,
+                category=EventCategory.OTHER,
+            )
 
     def _rejoin(self, name: str) -> None:
         """Revive a departed station from its original spec."""
@@ -276,8 +391,11 @@ class ScenarioRuntime:
         burst's ordinal, never from the channel's own stream — so a
         degrade window perturbs frame outcomes identically run to run.
         The restore is scheduled as plain builder machinery (it does
-        not advance ``timeline_fired``) and is skipped if a later
-        degrade superseded this one before it closed.
+        not advance ``timeline_fired``).  Open windows form a stack:
+        closing the one currently in force re-exposes the newest still-
+        open window's model, and closing an already-superseded window
+        just retires it — correct for both nested and interleaved
+        windows.
         """
         self._degrade_seq += 1
         rng = random.Random(
@@ -294,30 +412,66 @@ class ScenarioRuntime:
                 },
                 rng=rng,
             )
-        prior = self.cell.channel.loss
+        if not self._degrade_stack:
+            self._degrade_base = self.cell.channel.loss
+        self._degrade_stack.append(model)
         self.cell.channel.loss = model
         # Fires at ``at_s + duration_s``: we are at ``at_s`` right now.
         self.cell.sim.schedule(
             us_from_s(event.duration_s),
             self._restore_loss,
             model,
-            prior,
             category=EventCategory.OTHER,
         )
 
-    def _restore_loss(self, installed, prior) -> None:
+    def _restore_loss(self, installed) -> None:
+        stack = self._degrade_stack
+        for i, model in enumerate(stack):
+            if model is installed:
+                del stack[i]
+                break
+        else:  # pragma: no cover - every close matches one open
+            return
         if self.cell.channel.loss is installed:
-            self.cell.channel.loss = prior
+            self.cell.channel.loss = (
+                stack[-1] if stack else self._degrade_base
+            )
+        if not stack:
+            self._degrade_base = None
 
     # ------------------------------------------------------------------
     # running and reporting
     # ------------------------------------------------------------------
     def run(self) -> None:
-        """Warm up, then measure, per the spec's windows."""
-        self.cell.run(
-            seconds=self.spec.seconds,
-            warmup_seconds=self.spec.warmup_seconds,
-        )
+        """Warm up, then measure, per the spec's windows.
+
+        With sanitization on, the invariant sanitizer rides the
+        kernel's trace hook for the whole run and its end-of-run
+        conservation checks fire before this returns — an
+        :class:`~repro.sim.sanitizer.InvariantViolation` propagates to
+        the caller.
+        """
+        if self.sanitize and self.sanitizer is None:
+            from repro.sim.sanitizer import RuntimeSanitizer
+
+            self.sanitizer = RuntimeSanitizer(self.cell).install()
+        try:
+            self.cell.run(
+                seconds=self.spec.seconds,
+                warmup_seconds=self.spec.warmup_seconds,
+            )
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.uninstall()
+        if self.sanitizer is not None:
+            self.sanitizer.finalize()
+
+    def pool_leaked(self) -> int:
+        """End-of-run pooled-packet leak count (0 on a healthy run);
+        see :func:`repro.sim.sanitizer.pool_leak`."""
+        from repro.sim.sanitizer import pool_leak
+
+        return pool_leak(self.cell)
 
     def station_rates_mbps(self) -> Dict[str, float]:
         """Current uplink rate per station (post-timeline)."""

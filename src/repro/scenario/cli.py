@@ -80,6 +80,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--set", action="append", default=[], metavar="KEY=VALUE",
         dest="assignments", help="override any family knob (repeatable)",
     )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the runtime invariant sanitizer (same event "
+        "sequence; violations abort with component and sim-time)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="fan a parameter sweep out as cached campaign jobs"
@@ -112,6 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_p.add_argument(
         "--partial", action="store_true",
         help="exit 0 even when points were quarantined",
+    )
+    sweep_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run every point under the runtime invariant sanitizer "
+        "(exported to workers via REPRO_SANITIZE)",
     )
 
     args = parser.parse_args(argv)
@@ -166,7 +176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (ValueError, TypeError) as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        print(render_result(run_spec(spec)))
+        sanitize = True if args.sanitize else None
+        print(render_result(run_spec(spec, sanitize=sanitize)))
         return 0
 
     # sweep
@@ -204,6 +215,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.campaign.executor import quarantine_report
     from repro.campaign.policy import RetryPolicy
 
+    if args.sanitize:
+        # Workers inherit the supervisor's environment, so the env
+        # switch is how --sanitize crosses the process boundary.
+        import os
+
+        from repro.sim.sanitizer import SANITIZE_ENV
+
+        os.environ[SANITIZE_ENV] = "1"
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     retry = (
         RetryPolicy(max_attempts=args.retries)
@@ -215,15 +235,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.quiet:
             print(f"  [{done}/{total}] {job.label} ({event})")
 
-    outcome = run_sweep(
-        specs,
-        workers=args.jobs,
-        cache=cache,
-        force=args.force,
-        progress=progress,
-        retry=retry,
-        timeout_s=args.timeout,
-    )
+    from repro.campaign.faults import FaultPlanError
+
+    try:
+        outcome = run_sweep(
+            specs,
+            workers=args.jobs,
+            cache=cache,
+            force=args.force,
+            progress=progress,
+            retry=retry,
+            timeout_s=args.timeout,
+        )
+    except FaultPlanError as exc:
+        # A malformed REPRO_CAMPAIGN_FAULTS plan is a usage error, not
+        # a crash — same exit code as any other bad CLI input.
+        print(str(exc), file=sys.stderr)
+        return 2
     by_key = outcome.experiment_results("scenario")
     for spec in specs:
         if spec.name not in by_key:

@@ -19,23 +19,34 @@ scheduler*:
   multi-rate cell;
 * ``fairness-churn`` — a slow station truly disassociates mid-run and
   rejoins later, splitting the run into three phases whose occupancy
-  shares must each converge to 1/n_active.
+  shares must each converge to 1/n_active;
+* ``fairness-outage`` — the AP itself goes dark mid-run and recovers;
+  survivors re-associate with jittered delays and the regulator must
+  re-converge to 1/n_active within a bounded number of FILLEVENTs;
+* ``chaos``    — a seeded generator mixes crash, outage, degrade,
+  burst and rate-switch events into one randomized (but fully
+  deterministic) timeline, for soak-testing under the sanitizer.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import random
 from dataclasses import dataclass
 from itertools import product
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenario.spec import (
+    ApOutageEvent,
+    ChannelDegradeEvent,
     FlowSpec,
     JoinEvent,
     LeaveEvent,
     RateSwitchEvent,
+    ReaperSpec,
     RejoinEvent,
     ScenarioSpec,
+    StationCrashEvent,
     StationSpec,
     TrafficOffEvent,
     TrafficOnEvent,
@@ -336,6 +347,237 @@ def _build_fairness_churn(
     )
 
 
+# ----------------------------------------------------------------------
+# fairness-outage — the AP goes dark mid-run and recovers
+# ----------------------------------------------------------------------
+def fairness_outage_phases(
+    seconds: float,
+    warmup_s: float,
+    outage_at_s: Optional[float] = None,
+    outage_s: float = 1.0,
+    rejoin_jitter_s: float = 0.2,
+) -> Tuple[float, float, float, float]:
+    """Phase boundaries of the fairness-outage run, in run-clock seconds.
+
+    Returns ``(start, down, up, horizon)``: measurement starts at
+    ``start``; the AP is dark (and stations are re-associating) during
+    ``[down, up)``; the *after* phase ``[up, horizon)`` is where the
+    regulator must re-converge.  ``up`` includes the rejoin jitter — by
+    then every survivor is back.  An unset ``outage_at_s`` defaults to
+    one third into the measurement window.
+    """
+    start = warmup_s
+    horizon = warmup_s + seconds
+    down = (
+        warmup_s + seconds / 3.0 if outage_at_s is None else outage_at_s
+    )
+    up = down + outage_s + rejoin_jitter_s
+    if not start <= down < up < horizon:
+        raise ValueError(
+            f"fairness-outage phases must satisfy warmup <= down < up < "
+            f"horizon, got down={down!r}, up={up!r} in "
+            f"[{start!r}, {horizon!r})"
+        )
+    return start, down, up, horizon
+
+
+def _build_fairness_outage(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 9.0,
+    warmup_s: float = 1.0,
+    n_peers: int = 3,
+    peer_rate: float = 11.0,
+    slow_rate: float = 1.0,
+    outage_at_s: Optional[float] = None,
+    outage_s: float = 1.0,
+    rejoin_jitter_s: float = 0.2,
+) -> ScenarioSpec:
+    """The AP blacks out mid-run; every station must re-converge after.
+
+    ``n_peers`` fast TCP uploaders plus one slow station saturate the
+    cell; a third of the way into the measurement window the AP goes
+    down for ``outage_s`` (queues flushed, in-flight frame aborted,
+    associations dropped) and recovers, after which survivors
+    re-associate with seeded jitter up to ``rejoin_jitter_s``.  The
+    paper's fairness claim is tested on the far side: each station's
+    occupancy share in the *after* phase must return to 1/n_active,
+    with TBR re-granting each re-associating station its initial burst
+    exactly once.
+    """
+    _, down, _, _ = fairness_outage_phases(
+        seconds, warmup_s, outage_at_s, outage_s, rejoin_jitter_s
+    )
+    stations = [StationSpec("slow", rate_mbps=slow_rate)]
+    flows = [FlowSpec(station="slow", kind="tcp", direction="up")]
+    for i in range(n_peers):
+        name = f"peer{i + 1}"
+        stations.append(StationSpec(name, rate_mbps=peer_rate))
+        flows.append(FlowSpec(station=name, kind="tcp", direction="up"))
+    return ScenarioSpec(
+        name="fairness-outage",
+        scheduler=scheduler,
+        stations=tuple(stations),
+        flows=tuple(flows),
+        timeline=(
+            ApOutageEvent(
+                at_s=down,
+                duration_s=outage_s,
+                rejoin_jitter_s=rejoin_jitter_s,
+            ),
+        ),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# chaos — a seeded soak timeline mixing every fault kind
+# ----------------------------------------------------------------------
+def _build_chaos(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 8.0,
+    warmup_s: float = 0.5,
+    n_stations: int = 4,
+    n_events: int = 8,
+    outage_s: float = 0.5,
+    degrade_s: float = 0.8,
+    loss: float = 0.5,
+    udp_mbps: float = 2.0,
+    reaper_idle_s: float = 0.4,
+) -> ScenarioSpec:
+    """Randomized-but-deterministic fault soak for the sanitizer.
+
+    A dedicated ``random.Random(f"chaos:{seed}")`` walks time forward
+    from the warm-up, placing ``n_events`` events drawn from crash,
+    AP outage, channel degrade, traffic burst, rate switch and a
+    leave/rejoin pair.  Construction keeps every spec *valid*: events
+    advance strictly in time, an outage claims its whole exclusion
+    window (duration plus rejoin jitter) before the next event may
+    fire, crashed stations are retired from the candidate pools, and
+    only stations carrying downlink traffic may crash — the AP-side
+    reaper (armed via ``reaper``) needs retry exhaustions to detect
+    the dead peer and free its stranded token rate.
+    """
+    if n_stations < 2:
+        raise ValueError(
+            f"chaos needs >= 2 stations, got {n_stations!r} — a lone "
+            "station leaves nothing to renormalize after a crash"
+        )
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events!r}")
+    rng = random.Random(f"chaos:{seed}")
+    ladder = (11.0, 5.5, 2.0, 1.0)
+    stations: List[StationSpec] = []
+    flows: List[FlowSpec] = []
+    has_downlink: List[str] = []
+    for i in range(n_stations):
+        name = f"s{i + 1}"
+        stations.append(StationSpec(name, rate_mbps=ladder[i % len(ladder)]))
+        flows.append(FlowSpec(station=name, kind="tcp", direction="up"))
+        if i % 2 == 0:
+            # Downlink UDP makes the station crash-eligible: the AP
+            # keeps transmitting at the corpse, retries exhaust, and
+            # the reaper has its evidence.
+            flows.append(
+                FlowSpec(
+                    station=name, kind="udp", direction="down",
+                    rate_mbps=udp_mbps,
+                )
+            )
+            has_downlink.append(name)
+    horizon = warmup_s + seconds
+    rejoin_jitter_s = 0.2
+    # s1 never crashes or leaves: the cell must stay occupied so there
+    # is always a survivor to renormalize onto.
+    crashable = [name for name in has_downlink if name != "s1"]
+    churnable = [s.name for s in stations if s.name != "s1"]
+    alive = {s.name for s in stations}
+    timeline: List[Any] = []
+
+    at = warmup_s + rng.uniform(0.2, 0.6)
+    placed = 0
+    while placed < n_events and at < horizon - 0.3:
+        kinds = ["degrade", "offon", "rate"]
+        if at + outage_s + rejoin_jitter_s < horizon - 0.3:
+            kinds.append("outage")
+        if crashable:
+            kinds.append("crash")
+        if churnable:
+            kinds.append("cycle")
+        kind = rng.choice(kinds)
+        if kind == "degrade":
+            timeline.append(
+                ChannelDegradeEvent(
+                    at_s=at,
+                    duration_s=min(degrade_s, horizon - at - 0.05),
+                    loss_probability=loss,
+                )
+            )
+            # Degrade windows may overlap later events on purpose —
+            # the restore path must cope with interleavings.
+            footprint = 0.0
+        elif kind == "outage":
+            timeline.append(
+                ApOutageEvent(
+                    at_s=at,
+                    duration_s=outage_s,
+                    rejoin_jitter_s=rejoin_jitter_s,
+                )
+            )
+            # Nothing else may fire inside the exclusion window.
+            footprint = outage_s + rejoin_jitter_s
+        elif kind == "crash":
+            victim = crashable.pop(rng.randrange(len(crashable)))
+            churnable = [n for n in churnable if n != victim]
+            alive.discard(victim)
+            timeline.append(StationCrashEvent(at_s=at, station=victim))
+            footprint = 0.0
+        elif kind == "cycle":
+            dwell = rng.uniform(0.3, 0.8)
+            name = churnable[rng.randrange(len(churnable))]
+            timeline.append(LeaveEvent(at_s=at, station=name))
+            timeline.append(
+                RejoinEvent(at_s=min(at + dwell, horizon - 0.1), station=name)
+            )
+            footprint = dwell
+        elif kind == "offon":
+            dwell = rng.uniform(0.2, 0.6)
+            name = rng.choice(sorted(alive))
+            timeline.append(TrafficOffEvent(at_s=at, station=name))
+            timeline.append(
+                TrafficOnEvent(
+                    at_s=min(at + dwell, horizon - 0.1), station=name
+                )
+            )
+            footprint = dwell
+        else:  # rate
+            name = rng.choice(sorted(alive))
+            timeline.append(
+                RateSwitchEvent(
+                    at_s=at, station=name, rate_mbps=rng.choice(ladder)
+                )
+            )
+            footprint = 0.0
+        placed += 1
+        at += footprint + rng.uniform(0.25, 0.7)
+
+    timeline.sort(key=lambda e: e.at_s)
+    return ScenarioSpec(
+        name="chaos",
+        scheduler=scheduler,
+        stations=tuple(stations),
+        flows=tuple(flows),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+        reaper=ReaperSpec(idle_timeout_s=reaper_idle_s),
+    )
+
+
 def _defaults_of(fn: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
     import inspect
 
@@ -377,6 +619,18 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             "a slow station truly disassociates mid-run and rejoins",
             _build_fairness_churn,
             _defaults_of(_build_fairness_churn),
+        ),
+        ScenarioFamily(
+            "fairness-outage",
+            "the AP blacks out mid-run; shares must re-converge after",
+            _build_fairness_outage,
+            _defaults_of(_build_fairness_outage),
+        ),
+        ScenarioFamily(
+            "chaos",
+            "seeded soak mixing crash/outage/degrade/burst/rate events",
+            _build_chaos,
+            _defaults_of(_build_chaos),
         ),
     )
 }

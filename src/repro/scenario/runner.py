@@ -42,15 +42,28 @@ class ScenarioResult:
     timeline_fired: int = 0
     events_executed: int = 0
     events_by_category: Dict[str, int] = field(default_factory=dict)
+    #: end-of-run PacketPool conservation remainder — 0 on a healthy
+    #: run (every pooled packet recycled or still legitimately queued /
+    #: in flight).  Deliberately absent from :func:`render_result`, so
+    #: existing goldens stay byte-identical.
+    pool_leaked: int = 0
 
     @property
     def total_mbps(self) -> float:
         return sum(self.throughput_mbps.values())
 
 
-def run_spec(spec: ScenarioSpec) -> ScenarioResult:
-    """Compile, run and measure one scenario spec."""
-    runtime = ScenarioRuntime(spec)
+def run_spec(
+    spec: ScenarioSpec, *, sanitize: Optional[bool] = None
+) -> ScenarioResult:
+    """Compile, run and measure one scenario spec.
+
+    ``sanitize=True`` runs under the
+    :class:`~repro.sim.sanitizer.RuntimeSanitizer`; ``None`` defers to
+    the ``REPRO_SANITIZE`` environment switch (which is how campaign
+    worker processes inherit the setting).
+    """
+    runtime = ScenarioRuntime(spec, sanitize=sanitize)
     sim = runtime.cell.sim
     runtime.run()
     return ScenarioResult(
@@ -66,6 +79,7 @@ def run_spec(spec: ScenarioSpec) -> ScenarioResult:
         timeline_fired=runtime.timeline_fired,
         events_executed=sim.events_executed,
         events_by_category=sim.events_by_category(),
+        pool_leaked=runtime.pool_leaked(),
     )
 
 

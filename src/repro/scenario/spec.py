@@ -184,6 +184,77 @@ class TrafficOnEvent:
 
 
 @dataclass(frozen=True)
+class ApOutageEvent:
+    """The AP dies at ``at_s`` and recovers ``duration_s`` later.
+
+    An ungraceful, cell-wide failure: the AP's MAC shuts down mid-grant
+    (an in-flight downlink frame is aborted on the air and never
+    delivers), every queued downlink packet flushes back to the
+    :class:`~repro.transport.packet.PacketPool`, and all associated
+    stations lose their association — queues flushed, token buckets
+    retired — through the same teardown path as :class:`LeaveEvent`.
+
+    On recovery the AP's MAC restarts and each survivor re-associates
+    after an individual jittered delay in ``[0, rejoin_jitter_s]``
+    (spec-seeded, so outage runs stay deterministic), receiving — under
+    TBR — a fresh ``initial_tokens_us`` grant exactly once, exactly as
+    a :class:`RejoinEvent` would.  The recovery and the per-station
+    rejoins are builder machinery, not timeline events: only the outage
+    itself counts toward ``timeline_fired``.
+
+    Other timeline events may not fire inside the outage's exclusion
+    window ``[at_s, at_s + duration_s + rejoin_jitter_s]`` — the cell's
+    population is in flux there and event semantics would be ambiguous.
+    """
+
+    at_s: float
+    duration_s: float
+    #: each survivor rejoins at ``at_s + duration_s + U[0, jitter]``.
+    rejoin_jitter_s: float = 0.2
+
+
+@dataclass(frozen=True)
+class StationCrashEvent:
+    """The station vanishes at ``at_s`` *without* disassociating.
+
+    Unlike :class:`LeaveEvent` nothing is torn down on the AP side: the
+    station's MAC simply stops answering, so its queue, token bucket
+    and token rate stay allocated — stranded — until the AP-side
+    inactivity reaper (see :class:`ReaperSpec`) detects the dead peer
+    from consecutive retry-limit exhaustions plus an idle timeout and
+    drives the ordinary ``disassociate`` path, renormalizing survivor
+    shares to ``1/n_active``.  Downlink flows toward the crashed
+    station keep offering traffic (that is what arms the reaper);
+    uplink sources are quiesced, since a dead station sends nothing.
+    Crashed stations never rejoin.
+    """
+
+    at_s: float
+    station: str
+
+
+@dataclass(frozen=True)
+class ReaperSpec:
+    """AP-side inactivity reaper knobs (attach to ``ScenarioSpec``).
+
+    The reaper disassociates a station once **both** hold: at least
+    ``exhaustion_threshold`` consecutive retry-limit exhaustions toward
+    it, and nothing heard from it for ``idle_timeout_s``.  Requiring
+    the exhaustion evidence keeps merely-quiet stations (burst gaps,
+    ``TrafficOffEvent``) safe from reaping.
+    """
+
+    exhaustion_threshold: int = 2
+    idle_timeout_s: float = 0.5
+
+    def validate(self) -> None:
+        if self.exhaustion_threshold < 1:
+            raise ValueError("reaper exhaustion_threshold must be >= 1")
+        if self.idle_timeout_s <= 0:
+            raise ValueError("reaper idle_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
 class ChannelDegradeEvent:
     """The channel degrades at ``at_s`` for ``duration_s`` seconds.
 
@@ -211,6 +282,8 @@ TimelineEvent = Union[
     TrafficOffEvent,
     TrafficOnEvent,
     ChannelDegradeEvent,
+    ApOutageEvent,
+    StationCrashEvent,
 ]
 
 
@@ -234,6 +307,9 @@ class ScenarioSpec:
     seconds: float = 10.0
     warmup_seconds: float = 0.0
     seed: int = 1
+    #: AP-side inactivity reaper; ``None`` (the default) disables it,
+    #: so specs without crash events behave exactly as before.
+    reaper: Optional[ReaperSpec] = None
 
     # ------------------------------------------------------------------
     # content identity
@@ -287,6 +363,8 @@ class ScenarioSpec:
             raise ValueError("seconds must be positive")
         if self.warmup_seconds < 0:
             raise ValueError("warmup_seconds must be >= 0")
+        if self.reaper is not None:
+            self.reaper.validate()
 
         present: Dict[str, bool] = {}  # name -> still active
         for station in self.stations:
@@ -309,15 +387,60 @@ class ScenarioSpec:
             TrafficOffEvent,
             TrafficOnEvent,
             ChannelDegradeEvent,
+            ApOutageEvent,
+            StationCrashEvent,
         )
         for event in self.timeline:
             if not isinstance(event, known_events):
                 raise ValueError(
                     f"unknown timeline event type {type(event).__name__}"
                 )
+
+        # AP outages freeze the whole cell's population; nothing else
+        # may fire inside an outage's exclusion window (down time plus
+        # the rejoin jitter tail), and windows must not overlap.
+        outages = sorted(
+            (e for e in self.timeline if isinstance(e, ApOutageEvent)),
+            key=lambda e: e.at_s,
+        )
+        for outage in outages:
+            if outage.duration_s <= 0:
+                raise ValueError(
+                    f"AP outage at {outage.at_s}s: duration_s must be "
+                    "positive"
+                )
+            if outage.rejoin_jitter_s < 0:
+                raise ValueError(
+                    f"AP outage at {outage.at_s}s: rejoin_jitter_s must "
+                    "be >= 0"
+                )
+        windows = [
+            (o.at_s, o.at_s + o.duration_s + o.rejoin_jitter_s)
+            for o in outages
+        ]
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            if next_start <= prev_end:
+                raise ValueError(
+                    f"AP outage at {next_start}s overlaps the previous "
+                    "outage's exclusion window"
+                )
+        for event in self.timeline:
+            if isinstance(event, ApOutageEvent):
+                continue
+            for start, end in windows:
+                if start <= event.at_s <= end:
+                    raise ValueError(
+                        f"timeline event at {event.at_s}s falls inside "
+                        f"the AP outage exclusion window "
+                        f"[{start}s, {end}s]"
+                    )
+
+        crashed: set = set()
         for event in sorted(self.timeline, key=lambda e: e.at_s):
             if event.at_s < 0:
                 raise ValueError("timeline event times must be >= 0")
+            if isinstance(event, ApOutageEvent):
+                continue
             if isinstance(event, JoinEvent):
                 event.station.validate()
                 if event.station.name in present:
@@ -361,6 +484,12 @@ class ScenarioSpec:
                         f"unknown station {event.station!r}"
                     )
                 if isinstance(event, RejoinEvent):
+                    if event.station in crashed:
+                        raise ValueError(
+                            f"rejoin at {event.at_s}s: station "
+                            f"{event.station!r} crashed — crashed "
+                            "stations do not rejoin"
+                        )
                     if active:
                         raise ValueError(
                             f"rejoin at {event.at_s}s: station "
@@ -375,6 +504,9 @@ class ScenarioSpec:
                     )
                 if isinstance(event, LeaveEvent):
                     present[event.station] = False
+                elif isinstance(event, StationCrashEvent):
+                    present[event.station] = False
+                    crashed.add(event.station)
                 elif isinstance(event, RateSwitchEvent):
                     if event.rate_mbps <= 0:
                         raise ValueError("rate switch needs a positive rate")

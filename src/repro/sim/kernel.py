@@ -71,6 +71,11 @@ class Simulator:
         self._compactions = 0
         #: recycled transient Event objects (see schedule_transient).
         self._free: List[Event] = []
+        #: optional per-event hook called as ``trace(time, callback)``
+        #: just before each event's callback runs.  ``None`` (the
+        #: default) costs one local truth test per event; the runtime
+        #: invariant sanitizer installs its checker here.
+        self.trace = None
         self._rngs: dict[str, random.Random] = {}
 
     # ------------------------------------------------------------------
@@ -438,6 +443,7 @@ class Simulator:
         heappop = heapq.heappop
         free = self._free
         cat_counts = self._cat_counts
+        trace = self.trace
         horizon = float("inf") if until is None else until
         budget = -1 if max_events is None else max_events
         try:
@@ -472,6 +478,8 @@ class Simulator:
                 cat_counts[event.category] += 1
                 if event._transient and len(free) < 512:
                     free.append(event)
+                if trace is not None:
+                    trace(time, callback)
                 callback(*args)
                 executed += 1
                 self._events_executed += 1

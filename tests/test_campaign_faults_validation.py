@@ -1,0 +1,89 @@
+"""Malformed fault plans die as usage errors, not tracebacks.
+
+``REPRO_CAMPAIGN_FAULTS`` is typed by humans running chaos drills; a
+typo used to surface as a raw ``KeyError`` (or worse) from deep inside
+the executor.  Every malformed shape must now raise a
+:class:`FaultPlanError` that names the problem — and both CLIs must
+turn that into exit code 2 on stderr.
+"""
+
+import pytest
+
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.faults import FAULTS_ENV, Fault, FaultPlan, FaultPlanError
+from repro.scenario.cli import main as scenario_main
+
+
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("not json at all", "not valid JSON"),
+        ('{"digest_prefix": "ab"}', "must be a JSON array"),
+        ('["not-an-object"]', "fault #0 must be an object"),
+        ('[{"action": "kill"}]', "missing required key 'digest_prefix'"),
+        ('[{"digest_prefix": "ab"}]', "missing required key 'action'"),
+        (
+            '[{"digest_prefix": "ab", "action": "explode"}]',
+            "unknown fault action",
+        ),
+        (
+            '[{"digest_prefix": "ab", "action": "kill", "attempt": -1}]',
+            "attempt must be >= 0",
+        ),
+        (
+            '[{"digest_prefix": "ab", "action": "kill", "attempt": "soon"}]',
+            "invalid literal",
+        ),
+        (
+            '[{"digest_prefix": "XYZ!", "action": "kill"}]',
+            "not a lowercase-hex digest prefix",
+        ),
+    ],
+)
+def test_malformed_plans_raise_fault_plan_error(text, match):
+    with pytest.raises(FaultPlanError, match=match):
+        FaultPlan.from_json(text)
+
+
+def test_fault_plan_error_is_a_value_error():
+    # Existing callers that catch ValueError keep working.
+    assert issubclass(FaultPlanError, ValueError)
+
+
+def test_valid_plans_still_round_trip():
+    plan = FaultPlan(
+        faults=(
+            Fault(digest_prefix="", attempt=0, action="kill"),  # matches all
+            Fault(digest_prefix="0badc0ffee", attempt=2, action="hang"),
+        )
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_from_env_names_the_variable(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, '[{"action": "kill"}]')
+    with pytest.raises(FaultPlanError, match=FAULTS_ENV):
+        FaultPlan.from_env()
+    monkeypatch.delenv(FAULTS_ENV)
+    assert FaultPlan.from_env() is None
+
+
+def test_campaign_cli_exits_2_on_malformed_plan(monkeypatch, capsys):
+    monkeypatch.setenv(FAULTS_ENV, "{broken")
+    assert campaign_main(["fig2", "--jobs", "1", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert FAULTS_ENV in err
+    assert "Traceback" not in err
+
+
+def test_scenario_sweep_cli_exits_2_on_malformed_plan(monkeypatch, capsys):
+    monkeypatch.setenv(FAULTS_ENV, '[{"digest_prefix": "zz??"}]')
+    assert (
+        scenario_main(
+            ["sweep", "bursty", "--jobs", "1", "--no-cache", "--quiet"]
+        )
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert FAULTS_ENV in err
+    assert "Traceback" not in err

@@ -1,0 +1,280 @@
+"""AP outage and station crash: the protocol fault events end to end.
+
+``ApOutageEvent`` must tear the whole cell down (associations dropped,
+queues flushed, the in-flight frame aborted) and bring every survivor
+back through the real re-association path with seeded jitter;
+``StationCrashEvent`` must vanish a station *without* the courtesy of
+a disassociation, leaving the AP-side inactivity reaper to detect the
+dead peer from retry exhaustions and drive the normal teardown so the
+survivors' token shares renormalize.  Everything stays deterministic
+and conserves pooled packets.
+"""
+
+import pytest
+
+from repro.scenario import (
+    ApOutageEvent,
+    FlowSpec,
+    ReaperSpec,
+    RejoinEvent,
+    ScenarioSpec,
+    StationCrashEvent,
+    StationSpec,
+    TrafficOffEvent,
+)
+from repro.scenario.builder import ScenarioRuntime
+from repro.scenario.runner import run_spec
+
+
+def _outage_spec(name, *, seconds=4.0, at_s=1.5, duration_s=0.5, seed=1,
+                 scheduler="tbr"):
+    return ScenarioSpec(
+        name=name,
+        scheduler=scheduler,
+        stations=(
+            StationSpec("fast", rate_mbps=11.0),
+            StationSpec("slow", rate_mbps=1.0),
+        ),
+        flows=(
+            FlowSpec(station="fast", kind="tcp", direction="up"),
+            FlowSpec(station="slow", kind="udp", direction="down",
+                     rate_mbps=2.0),
+        ),
+        timeline=(ApOutageEvent(at_s=at_s, duration_s=duration_s),),
+        seconds=seconds,
+        warmup_seconds=0.5,
+        seed=seed,
+    )
+
+
+def _crash_spec(name, *, reaper, seconds=5.0, at_s=1.0, seed=1):
+    return ScenarioSpec(
+        name=name,
+        scheduler="tbr",
+        stations=(
+            StationSpec("survivor", rate_mbps=11.0),
+            StationSpec("victim", rate_mbps=1.0),
+        ),
+        flows=(
+            FlowSpec(station="survivor", kind="tcp", direction="up"),
+            # Downlink at the victim keeps the AP transmitting at the
+            # corpse — the retry exhaustions are the reaper's evidence.
+            FlowSpec(station="victim", kind="udp", direction="down",
+                     rate_mbps=2.0),
+        ),
+        timeline=(StationCrashEvent(at_s=at_s, station="victim"),),
+        seconds=seconds,
+        warmup_seconds=0.5,
+        seed=seed,
+        reaper=reaper,
+    )
+
+
+# ----------------------------------------------------------------------
+# AP outage
+# ----------------------------------------------------------------------
+def test_outage_drops_everyone_then_recovers_everyone():
+    runtime = ScenarioRuntime(_outage_spec("outage-recovery"))
+    runtime.run()
+    cell = runtime.cell
+    # Both stations re-associated: present in the cell, bucketed in
+    # the regulator, and the rate sum renormalized to exactly 1.
+    assert sorted(cell.stations) == ["fast", "slow"]
+    assert sorted(cell.scheduler.buckets) == ["fast", "slow"]
+    total = sum(b.rate for b in cell.scheduler.buckets.values())
+    assert total == pytest.approx(1.0)
+    assert runtime.pool_leaked() == 0
+    # Traffic moved on both sides of the blackout: the flows restarted
+    # under fresh @r1 names by the rejoin machinery.
+    tput = cell.throughputs_mbps()
+    assert tput.get("fast/tcp-up@r1", 0.0) > 0.0
+    assert tput.get("slow/udp-down@r1", 0.0) > 0.0
+
+
+def test_outage_window_is_silent():
+    # Compare against the same cell without the outage: the blackout
+    # must actually cost throughput (the AP was really gone).
+    dark = run_spec(_outage_spec("outage-on", duration_s=1.5))
+    clean = run_spec(
+        ScenarioSpec(
+            name="outage-off",
+            scheduler="tbr",
+            stations=_outage_spec("x").stations,
+            flows=_outage_spec("x").flows,
+            seconds=4.0,
+            warmup_seconds=0.5,
+            seed=1,
+        )
+    )
+    assert dark.total_mbps < clean.total_mbps * 0.8
+    assert dark.pool_leaked == 0
+
+
+def test_outage_aborts_in_flight_frame_without_leaking():
+    # A saturating downlink makes it near-certain the AP is mid-frame
+    # when the outage hits; the abort path must release the packet.
+    spec = ScenarioSpec(
+        name="outage-abort",
+        scheduler="tbr",
+        stations=(StationSpec("dl", rate_mbps=1.0),),
+        flows=(
+            FlowSpec(station="dl", kind="udp", direction="down",
+                     rate_mbps=6.0),
+        ),
+        timeline=(ApOutageEvent(at_s=1.0, duration_s=0.5),),
+        seconds=3.0,
+        warmup_seconds=0.5,
+        seed=3,
+    )
+    result = run_spec(spec, sanitize=True)
+    assert result.pool_leaked == 0
+
+
+def test_outage_rejoin_jitter_is_seeded():
+    a = run_spec(_outage_spec("outage-det", seed=5))
+    b = run_spec(_outage_spec("outage-det", seed=5))
+    c = run_spec(_outage_spec("outage-det", seed=6))
+    assert a.throughput_mbps == b.throughput_mbps
+    assert a.events_by_category == b.events_by_category
+    # A different seed draws different rejoin delays (and traffic),
+    # so the runs genuinely diverge.
+    assert a.events_executed != c.events_executed
+
+
+def test_outage_validation_rejects_overlaps_and_shadowed_events():
+    base = _outage_spec("bad-outage")
+    with pytest.raises(ValueError, match="duration_s"):
+        ScenarioSpec(
+            name="bad",
+            stations=base.stations,
+            flows=base.flows,
+            timeline=(ApOutageEvent(at_s=1.0, duration_s=0.0),),
+            seconds=4.0,
+        ).validate()
+    # Two outages whose exclusion windows overlap.
+    with pytest.raises(ValueError, match="overlap"):
+        ScenarioSpec(
+            name="bad",
+            stations=base.stations,
+            flows=base.flows,
+            timeline=(
+                ApOutageEvent(at_s=1.0, duration_s=1.0),
+                ApOutageEvent(at_s=1.5, duration_s=1.0),
+            ),
+            seconds=5.0,
+        ).validate()
+    # Any other event inside an outage's exclusion window (the AP is
+    # down and stations are still trickling back — nothing can fire).
+    with pytest.raises(ValueError, match="exclusion window"):
+        ScenarioSpec(
+            name="bad",
+            stations=base.stations,
+            flows=base.flows,
+            timeline=(
+                ApOutageEvent(at_s=1.0, duration_s=1.0),
+                TrafficOffEvent(at_s=1.5, station="fast"),
+            ),
+            seconds=5.0,
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# station crash + inactivity reaper
+# ----------------------------------------------------------------------
+def test_crash_without_reaper_strands_the_token_rate():
+    # Documents the failure mode the reaper (and the sanitizer's
+    # strand check) exist for: the bucket outlives the station.
+    # Explicitly unsanitized — under REPRO_SANITIZE=1 this exact run
+    # is the strand violation test_sanitizer.py expects to raise.
+    runtime = ScenarioRuntime(
+        _crash_spec("crash-stranded", reaper=None), sanitize=False
+    )
+    runtime.run()
+    cell = runtime.cell
+    assert "victim" not in cell.stations
+    assert "victim" in cell.scheduler.buckets  # stranded
+    live = sum(
+        b.rate for n, b in cell.scheduler.buckets.items()
+        if n in cell.stations
+    )
+    assert live < 0.99  # survivors are squeezed below their fair share
+    assert runtime.pool_leaked() == 0
+
+
+def test_reaper_detects_crash_and_renormalizes_survivors():
+    runtime = ScenarioRuntime(
+        _crash_spec(
+            "crash-reaped",
+            reaper=ReaperSpec(exhaustion_threshold=2, idle_timeout_s=0.4),
+        ),
+        sanitize=True,
+    )
+    runtime.run()
+    cell = runtime.cell
+    reaper = cell.ap.reaper
+    assert reaper is not None and reaper.reap_count == 1
+    # The dead peer went through the full disassociation path: bucket
+    # retired, survivor's share renormalized to 1/n_active = 1.
+    assert "victim" not in cell.scheduler.buckets
+    assert cell.scheduler.buckets["survivor"].rate == pytest.approx(1.0)
+    assert runtime.pool_leaked() == 0
+
+
+def test_reaper_spares_merely_quiet_stations():
+    # Quiet is not dead: a station whose traffic goes silent (but whose
+    # MAC still ACKs the occasional downlink frame) must never be
+    # reaped — the reaper needs retry *exhaustions*, not mere idleness.
+    spec = ScenarioSpec(
+        name="quiet-not-dead",
+        scheduler="tbr",
+        stations=(
+            StationSpec("talker", rate_mbps=11.0),
+            StationSpec("quiet", rate_mbps=11.0),
+        ),
+        flows=(
+            FlowSpec(station="talker", kind="tcp", direction="up"),
+            FlowSpec(station="quiet", kind="tcp", direction="up"),
+        ),
+        timeline=(TrafficOffEvent(at_s=1.0, station="quiet"),),
+        seconds=5.0,
+        warmup_seconds=0.5,
+        seed=2,
+        reaper=ReaperSpec(exhaustion_threshold=2, idle_timeout_s=0.4),
+    )
+    runtime = ScenarioRuntime(spec, sanitize=True)
+    runtime.run()
+    cell = runtime.cell
+    assert cell.ap.reaper.reap_count == 0
+    assert "quiet" in cell.stations
+    assert "quiet" in cell.scheduler.buckets
+
+
+def test_crash_runs_are_deterministic():
+    reaper = ReaperSpec(exhaustion_threshold=2, idle_timeout_s=0.4)
+    a = run_spec(_crash_spec("crash-det", reaper=reaper))
+    b = run_spec(_crash_spec("crash-det", reaper=reaper))
+    assert a.throughput_mbps == b.throughput_mbps
+    assert a.events_by_category == b.events_by_category
+
+
+def test_crashed_station_cannot_rejoin():
+    base = _crash_spec("bad-crash", reaper=None)
+    with pytest.raises(ValueError, match="crashed"):
+        ScenarioSpec(
+            name="bad",
+            scheduler="tbr",
+            stations=base.stations,
+            flows=base.flows,
+            timeline=(
+                StationCrashEvent(at_s=1.0, station="victim"),
+                RejoinEvent(at_s=2.0, station="victim"),
+            ),
+            seconds=4.0,
+        ).validate()
+
+
+def test_reaper_spec_validation():
+    with pytest.raises(ValueError, match="exhaustion_threshold"):
+        ReaperSpec(exhaustion_threshold=0).validate()
+    with pytest.raises(ValueError, match="idle_timeout_s"):
+        ReaperSpec(idle_timeout_s=0.0).validate()

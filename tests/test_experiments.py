@@ -25,6 +25,7 @@ def test_registry_complete():
     assert set(REGISTRY) == {
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig8", "fig9",
         "table1", "table2", "table3", "table4", "fairness-churn",
+        "fairness-outage",
     }
     for module in REGISTRY.values():
         assert hasattr(module, "run") and hasattr(module, "render")

@@ -127,6 +127,63 @@ def test_tbr_holds_time_fairness_through_a_loss_burst():
     assert tbr.throughput_mbps["fast"] > fifo.throughput_mbps["fast"] * 1.5
 
 
+def _sample_loss_models(spec, times_s):
+    """Run ``spec`` and sample ``channel.loss`` at each probe time."""
+    from repro.scenario.builder import ScenarioRuntime
+    from repro.sim import us_from_s
+
+    runtime = ScenarioRuntime(spec)
+    cell = runtime.cell
+    samples = {}
+    for t in times_s:
+        cell.sim.schedule_at(
+            us_from_s(t),
+            lambda t=t: samples.__setitem__(t, cell.channel.loss),
+        )
+    runtime.run()
+    return cell, samples
+
+
+def test_nested_degrade_windows_restore_inside_out():
+    # B opens and closes strictly inside A: closing B must restore A's
+    # model (not the clean channel), and closing A restores the base.
+    a = ChannelDegradeEvent(at_s=0.5, duration_s=2.0, loss_probability=0.3)
+    b = ChannelDegradeEvent(at_s=1.0, duration_s=0.5, loss_probability=0.9)
+    spec = _spec("degrade-nested", timeline=(a, b))
+    cell, at = _sample_loss_models(spec, (0.3, 0.7, 1.2, 1.7, 2.7))
+    base, a_model, b_model = at[0.3], at[0.7], at[1.2]
+    assert a_model is not base and b_model is not base
+    assert b_model is not a_model
+    assert at[1.7] is a_model  # B closed -> back under A, not base
+    assert at[2.7] is base     # A closed -> clean channel restored
+    assert cell.channel.loss is base
+
+
+def test_interleaved_degrade_windows_restore_correctly():
+    # A then B overlap without nesting: A closes while B is still the
+    # installed model, so A's restore must not clobber B; B's restore
+    # then returns the base model even though it wasn't B's ``prior``.
+    a = ChannelDegradeEvent(at_s=0.5, duration_s=1.0, loss_probability=0.3)
+    b = ChannelDegradeEvent(at_s=1.0, duration_s=1.0, loss_probability=0.9)
+    spec = _spec("degrade-interleaved", timeline=(a, b))
+    cell, at = _sample_loss_models(spec, (0.3, 0.7, 1.2, 1.7, 2.2))
+    base, a_model, b_model = at[0.3], at[0.7], at[1.2]
+    assert a_model is not base and b_model is not base
+    assert at[1.7] is b_model  # A's restore fired mid-B: B must survive
+    assert at[2.2] is base     # B's restore skips dead A, lands on base
+    assert cell.channel.loss is base
+
+
+def test_overlapping_degrades_stay_deterministic():
+    a = ChannelDegradeEvent(at_s=0.5, duration_s=1.5, loss_probability=0.4)
+    b = ChannelDegradeEvent(at_s=1.0, duration_s=1.0, loss_probability=0.8)
+    first = run_spec(_spec("degrade-overlap", timeline=(a, b)))
+    second = run_spec(_spec("degrade-overlap", timeline=(a, b)))
+    assert first.throughput_mbps == second.throughput_mbps
+    assert first.events_by_category == second.events_by_category
+    assert first.pool_leaked == 0
+
+
 def test_degrade_validation_rejects_nonsense():
     base = _spec("bad", timeline=(
         ChannelDegradeEvent(at_s=1.0, duration_s=-1.0, loss_probability=0.5),
