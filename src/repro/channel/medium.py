@@ -270,6 +270,26 @@ class Channel:
             accum += self.sim.now - self.busy_start
         return accum / total
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the medium's absolute-time state after a kernel jump.
+
+        Busy/idle transition marks, per-sender last-transmission ends
+        (the deaf-after-transmit window) and any in-flight transmission
+        boundaries all move with the clock, so a jump taken mid-exchange
+        resumes with identical relative timing.  ``_busy_accum`` is an
+        accumulator, not a timestamp — the fast-forward planner credits
+        the skipped interval's busy time into it separately.
+        """
+        if self.busy_start is not None:
+            self.busy_start += delta_us
+        self.idle_start += delta_us
+        last = self._last_tx_end
+        for sender in last:
+            last[sender] += delta_us
+        for tx in self.active:
+            tx.start += delta_us
+            tx.end += delta_us
+
     # ------------------------------------------------------------------
     def transmit(self, frame: "Frame", duration: float) -> Transmission:
         """Begin transmitting ``frame``; it ends ``duration`` us from now.

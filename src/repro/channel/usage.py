@@ -80,12 +80,33 @@ class ChannelUsageMonitor:
         self.records.clear()
         self._origin = self.sim.now
 
+    def credit(
+        self, station: str, occupancy_us: float, exchanges: int
+    ) -> None:
+        """Fold a synthesized interval's usage into the accumulators.
+
+        The fast-forward planner calls this with the skipped interval's
+        modeled occupancy and exchange count; unlike
+        :meth:`record_exchange` it never appends a per-exchange record
+        (there was no individual exchange to describe).
+        """
+        if occupancy_us < 0 or exchanges < 0:
+            raise ValueError("credited usage must be non-negative")
+        self._occupancy_us[station] = (
+            self._occupancy_us.get(station, 0.0) + occupancy_us
+        )
+        self._exchanges[station] = self._exchanges.get(station, 0) + exchanges
+
     # ------------------------------------------------------------------
     def occupancy_us(self, station: str) -> float:
         return self._occupancy_us.get(station, 0.0)
 
     def exchanges(self, station: str) -> int:
         return self._exchanges.get(station, 0)
+
+    def exchange_counts(self) -> Dict[str, int]:
+        """Snapshot of every station's exchange count."""
+        return dict(self._exchanges)
 
     def total_occupancy_us(self) -> float:
         return sum(self._occupancy_us.values())

@@ -332,3 +332,18 @@ class TbrScheduler(ApScheduler):
         self._fill_timer.stop()
         if self._adjust_timer is not None:
             self._adjust_timer.stop()
+
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift all clock-bearing TBR state after a kernel jump.
+
+        Timer phases and window origins move with the clock; token
+        balances stay (bounded steady-state values), and the planner is
+        responsible for crediting cumulative spend/fill totals plus the
+        skipped window's ``rate_history`` entries.
+        """
+        self._window_start_us += delta_us
+        self._fill_timer.fast_forward(delta_us)
+        if self._adjust_timer is not None:
+            self._adjust_timer.fast_forward(delta_us)
+        for bucket in self.buckets.values():
+            bucket.fast_forward(delta_us)

@@ -86,3 +86,16 @@ class TokenBucket:
         """ADJUSTRATEEVENT epilogue: zero the per-window usage."""
         self.spent_since_adjust_us = 0.0
         self.window_start_us = now_us
+
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the adjustment-window origin after a clock jump.
+
+        ``tokens_us`` is left alone: in steady state the balance orbits a
+        bounded range below ``depth_us``, so carrying the pre-jump value
+        across is both depth-safe and phase-correct.  The cumulative
+        ``spent_us``/``filled_us`` totals are credited by the planner;
+        ``spent_since_adjust_us`` stays as-is because the window origin
+        moves with the jump (crediting it *and* shifting the origin would
+        double-correct ``actual_rate``).
+        """
+        self.window_start_us += delta_us

@@ -233,6 +233,16 @@ class DcfMac:
     ) -> None:
         self.completion_listeners.append(listener)
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the backoff anchor after a kernel clock jump.
+
+        ``_bo_anchor`` is the only absolute timestamp this MAC stores
+        outside the event heap (pending backoff/ACK events move with the
+        heap); shifting it keeps the elapsed-slot arithmetic in
+        ``on_busy`` consistent with the shifted countdown event.
+        """
+        self._bo_anchor += delta_us
+
     def shutdown(self, *, abort_in_flight: bool = False) -> None:
         """Tear this MAC down (station disassociation / AP outage).
 

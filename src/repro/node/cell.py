@@ -446,6 +446,23 @@ class Cell:
         for flow in self.flows:
             flow.stats.reset()
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift every component's clock-bearing state after a kernel
+        jump (see :meth:`Simulator.fast_forward_to`).
+
+        This moves *phases* — busy/idle marks, backoff anchors, wire
+        serialization clocks, timer references, token windows — not
+        accumulators: the fast-forward planner credits the skipped
+        interval's throughput/occupancy/token totals separately, and the
+        measurement origin (``_measure_start_us``, the usage monitor's
+        origin) deliberately stays put so skipped time counts as
+        measured time.
+        """
+        self.channel.fast_forward(delta_us)
+        self.ap.fast_forward(delta_us)
+        for station in self.stations.values():
+            station.fast_forward(delta_us)
+
     @property
     def measured_us(self) -> float:
         return self.sim.now - self._measure_start_us

@@ -96,6 +96,11 @@ class Station:
         self.queue.mac = None
         self.mac.shutdown()
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift clock-bearing station state after a kernel jump."""
+        self._defer_until += delta_us
+        self.mac.fast_forward(delta_us)
+
     # ------------------------------------------------------------------
     # MAC callbacks
     # ------------------------------------------------------------------

@@ -38,8 +38,20 @@ from repro.perf.campaign_bench import (
     render_campaign,
     run_campaign_bench,
 )
+from repro.perf.longhorizon import (
+    DEFAULT_HORIZONS,
+    LongHorizonSample,
+    longhorizon_row,
+    render_long_horizon,
+    run_long_horizon,
+)
 
 __all__ = [
+    "DEFAULT_HORIZONS",
+    "LongHorizonSample",
+    "longhorizon_row",
+    "render_long_horizon",
+    "run_long_horizon",
     "BENCH_SECONDS",
     "CampaignBenchSample",
     "build_suite_jobs",

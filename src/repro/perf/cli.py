@@ -9,6 +9,7 @@ Examples::
     python -m repro perf --events                # + per-category breakdown
     python -m repro perf --output /tmp/b.json    # don't clobber BENCH_perf.json
     python -m repro perf --campaign              # + serial-vs-parallel campaign
+    python -m repro perf --long-horizon          # + fast-forward wall-vs-horizon
 """
 
 from __future__ import annotations
@@ -123,6 +124,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: one per CPU; on a single-core host the parallel "
         "leg is skipped and annotated in the JSON)",
     )
+    parser.add_argument(
+        "--long-horizon",
+        action="store_true",
+        help=(
+            "also run the long-horizon fast-forward benchmark "
+            "(steady-long swept over sim seconds, engine on vs off) "
+            "and record the wall-vs-horizon curve in the report"
+        ),
+    )
+    parser.add_argument(
+        "--horizons",
+        default=None,
+        metavar="S1,S2,...",
+        help="simulated-seconds sweep for --long-horizon "
+        "(default: 1,10,100)",
+    )
     args = parser.parse_args(argv)
 
     if args.output is not None and args.json is not None:
@@ -139,6 +156,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     if args.campaign_jobs is not None and args.campaign_jobs < 1:
         parser.error("--campaign-jobs must be >= 1")
+    if args.horizons is not None and not args.long_horizon:
+        parser.error("--horizons only makes sense with --long-horizon")
+    horizons = None
+    if args.long_horizon:
+        from repro.perf.longhorizon import DEFAULT_HORIZONS
+
+        horizons = list(DEFAULT_HORIZONS)
+        if args.horizons is not None:
+            try:
+                horizons = [float(h) for h in _csv(args.horizons)]
+            except ValueError:
+                parser.error(f"invalid --horizons {args.horizons!r}")
+            if not horizons or any(h <= 0 for h in horizons):
+                parser.error("--horizons values must be positive")
 
     try:
         station_counts = [int(n) for n in _csv(args.stations)]
@@ -219,8 +250,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_campaign(bench))
         campaign = campaign_row(bench)
 
+    fastforward = None
+    if args.long_horizon:
+        from repro.perf.longhorizon import (
+            longhorizon_row,
+            render_long_horizon,
+            run_long_horizon,
+        )
+
+        print("\nRunning long-horizon fast-forward benchmark ...")
+        lh_samples = run_long_horizon(
+            horizons,
+            seed=args.seed,
+            progress=lambda leg, sim_s, wall: print(
+                f"  {leg:<8} {sim_s:6g} sim s  {wall:8.3f}s wall"
+            ),
+        )
+        print(render_long_horizon(lh_samples))
+        fastforward = longhorizon_row(lh_samples, seed=args.seed)
+
     if not no_write:
-        path = write_report(samples, output, note=args.note, campaign=campaign)
+        path = write_report(
+            samples,
+            output,
+            note=args.note,
+            campaign=campaign,
+            fastforward=fastforward,
+        )
         print(f"wrote {path}")
     return 0
 

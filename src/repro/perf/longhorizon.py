@@ -1,0 +1,269 @@
+"""Long-horizon benchmark: fast-forward vs event-by-event wall clock.
+
+The scaling matrix measures kernel throughput on short saturated cells;
+this module measures what the steady-state fast-forward engine
+(:mod:`repro.sim.steady`) buys on the workload it exists for — long
+quiet horizons.  The ``steady-long`` scenario family is swept over
+``sim_seconds`` with the engine on and off, and the tracked quantity is
+wall-clock *per simulated second*: event-by-event it is flat in the
+horizon (O(packets)), fast-forwarded it collapses toward
+O(transitions).
+
+Event-by-event legs whose projected wall exceeds the budget are
+*skipped and annotated* rather than silently endured (or silently
+dropped) — the same honesty rule the campaign benchmark applies to its
+parallel leg on single-core hosts.  The projection comes from the
+longest baseline leg actually measured, scaled linearly in the horizon
+(event-by-event cost is linear in simulated time on a saturated cell).
+
+Results land in ``BENCH_perf.json`` under the ``fastforward`` key via
+``python -m repro perf --long-horizon``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Simulated-seconds sweep (the wall-vs-horizon curve's x axis).
+DEFAULT_HORIZONS = (1.0, 10.0, 100.0)
+
+#: Scenario family the benchmark sweeps (must stay fast-forwardable).
+FAMILY = "steady-long"
+
+#: Wall-clock budget for any single event-by-event leg; longer legs are
+#: projected from the last measured one and annotated as skipped.
+DEFAULT_BASELINE_BUDGET_S = 120.0
+
+
+@dataclass
+class LongHorizonSample:
+    """One point on the wall-vs-horizon curve.
+
+    ``baseline_wall_s`` is ``None`` when the event-by-event leg was
+    skipped (``skipped_reason`` says why and
+    ``projected_baseline_wall_s`` carries the linear projection used in
+    its place).  The fast-forward leg always runs — skipping it would
+    leave nothing to benchmark.
+    """
+
+    sim_seconds: float
+    fast_wall_s: float
+    fast_jumps: int
+    fast_skipped_s: float
+    fast_events: int
+    fast_total_mbps: float
+    baseline_wall_s: Optional[float]
+    baseline_events: Optional[int]
+    baseline_total_mbps: Optional[float]
+    skipped_reason: Optional[str] = None
+    projected_baseline_wall_s: Optional[float] = None
+
+    @property
+    def fast_wall_per_sim_s(self) -> float:
+        return self.fast_wall_s / self.sim_seconds
+
+    @property
+    def baseline_wall_per_sim_s(self) -> Optional[float]:
+        wall = (
+            self.baseline_wall_s
+            if self.baseline_wall_s is not None
+            else self.projected_baseline_wall_s
+        )
+        if wall is None:
+            return None
+        return wall / self.sim_seconds
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Event-by-event wall over fast-forward wall (same horizon).
+
+        Uses the projection when the baseline leg was skipped —
+        ``skipped_reason`` flags those rows so a dashboard can tell a
+        measured speedup from a projected one.
+        """
+        baseline = (
+            self.baseline_wall_s
+            if self.baseline_wall_s is not None
+            else self.projected_baseline_wall_s
+        )
+        if baseline is None or self.fast_wall_s <= 0:
+            return None
+        return baseline / self.fast_wall_s
+
+
+def run_long_horizon(
+    horizons: Sequence[float] = DEFAULT_HORIZONS,
+    *,
+    seed: int = 1,
+    baseline_budget_s: float = DEFAULT_BASELINE_BUDGET_S,
+    progress: Optional[Callable[[str, float, float], None]] = None,
+) -> List[LongHorizonSample]:
+    """Sweep ``steady-long`` over ``horizons`` with and without the
+    fast-forward engine; ``progress(leg, sim_seconds, wall_s)`` after
+    each timed leg.
+
+    Horizons run shortest first so every baseline leg that *does* run
+    refines the per-simulated-second cost used to project (and, past
+    the budget, skip) the longer ones.
+    """
+    from repro.scenario.registry import build_spec
+    from repro.scenario.runner import run_spec
+
+    samples: List[LongHorizonSample] = []
+    baseline_rate: Optional[float] = None  # wall seconds per sim second
+    for sim_seconds in sorted(horizons):
+        spec = build_spec(FAMILY, seconds=sim_seconds, seed=seed)
+
+        t0 = time.perf_counter()
+        fast = run_spec(spec, fast_forward=True)
+        fast_wall = time.perf_counter() - t0
+        if progress is not None:
+            progress("fastfwd", sim_seconds, fast_wall)
+
+        projected = (
+            None if baseline_rate is None else baseline_rate * sim_seconds
+        )
+        if projected is not None and projected > baseline_budget_s:
+            skipped_reason = (
+                f"event-by-event leg skipped: projected wall "
+                f"{projected:.1f}s exceeds the {baseline_budget_s:.0f}s "
+                f"budget (linear projection from the last measured leg)"
+            )
+            samples.append(
+                LongHorizonSample(
+                    sim_seconds=sim_seconds,
+                    fast_wall_s=fast_wall,
+                    fast_jumps=fast.fast_forwards,
+                    fast_skipped_s=fast.fast_forwarded_s,
+                    fast_events=fast.events_executed,
+                    fast_total_mbps=fast.total_mbps,
+                    baseline_wall_s=None,
+                    baseline_events=None,
+                    baseline_total_mbps=None,
+                    skipped_reason=skipped_reason,
+                    projected_baseline_wall_s=projected,
+                )
+            )
+            continue
+
+        t0 = time.perf_counter()
+        slow = run_spec(spec, fast_forward=False)
+        slow_wall = time.perf_counter() - t0
+        if progress is not None:
+            progress("baseline", sim_seconds, slow_wall)
+        baseline_rate = slow_wall / sim_seconds
+        samples.append(
+            LongHorizonSample(
+                sim_seconds=sim_seconds,
+                fast_wall_s=fast_wall,
+                fast_jumps=fast.fast_forwards,
+                fast_skipped_s=fast.fast_forwarded_s,
+                fast_events=fast.events_executed,
+                fast_total_mbps=fast.total_mbps,
+                baseline_wall_s=slow_wall,
+                baseline_events=slow.events_executed,
+                baseline_total_mbps=slow.total_mbps,
+            )
+        )
+    return samples
+
+
+def longhorizon_row(
+    samples: Sequence[LongHorizonSample], *, seed: int = 1
+) -> Dict:
+    """Flatten the sweep for ``BENCH_perf.json``'s ``fastforward`` key.
+
+    ``headline_speedup`` is the longest horizon's wall-per-simulated-
+    second ratio — the number a PR description quotes; per-horizon rows
+    keep the whole curve (and any ``skipped_reason`` annotations) for
+    dashboards.
+    """
+    rows = []
+    for s in samples:
+        rows.append(
+            {
+                "sim_seconds": s.sim_seconds,
+                "fast_wall_s": round(s.fast_wall_s, 4),
+                "fast_wall_s_per_sim_s": round(s.fast_wall_per_sim_s, 6),
+                "fast_jumps": s.fast_jumps,
+                "fast_skipped_sim_s": round(s.fast_skipped_s, 3),
+                "fast_events": s.fast_events,
+                "fast_total_mbps": round(s.fast_total_mbps, 4),
+                "baseline_wall_s": (
+                    None
+                    if s.baseline_wall_s is None
+                    else round(s.baseline_wall_s, 4)
+                ),
+                "baseline_wall_s_per_sim_s": (
+                    None
+                    if s.baseline_wall_per_sim_s is None
+                    else round(s.baseline_wall_per_sim_s, 6)
+                ),
+                "baseline_events": s.baseline_events,
+                "baseline_total_mbps": (
+                    None
+                    if s.baseline_total_mbps is None
+                    else round(s.baseline_total_mbps, 4)
+                ),
+                "speedup": (
+                    None if s.speedup is None else round(s.speedup, 2)
+                ),
+                "skipped_reason": s.skipped_reason,
+                "projected_baseline_wall_s": (
+                    None
+                    if s.projected_baseline_wall_s is None
+                    else round(s.projected_baseline_wall_s, 4)
+                ),
+            }
+        )
+    longest = max(samples, key=lambda s: s.sim_seconds) if samples else None
+    headline = (
+        None
+        if longest is None or longest.speedup is None
+        else round(longest.speedup, 2)
+    )
+    return {
+        "family": FAMILY,
+        "seed": seed,
+        "horizons": rows,
+        "headline_speedup": headline,
+    }
+
+
+def render_long_horizon(samples: Sequence[LongHorizonSample]) -> str:
+    """Fixed-width wall-vs-horizon table for the CLI."""
+    headers = (
+        "sim s", "baseline wall", "fastfwd wall", "speedup",
+        "jumps", "skipped sim s",
+    )
+    rows: List[List[str]] = []
+    for s in samples:
+        if s.baseline_wall_s is not None:
+            baseline = f"{s.baseline_wall_s:.3f}s"
+        elif s.projected_baseline_wall_s is not None:
+            baseline = f"~{s.projected_baseline_wall_s:.1f}s (skipped)"
+        else:
+            baseline = "-"
+        speedup = "-" if s.speedup is None else f"{s.speedup:.1f}x"
+        if s.skipped_reason is not None and s.speedup is not None:
+            speedup = f"~{s.speedup:.1f}x"
+        rows.append(
+            [
+                f"{s.sim_seconds:g}",
+                baseline,
+                f"{s.fast_wall_s:.3f}s",
+                speedup,
+                str(s.fast_jumps),
+                f"{s.fast_skipped_s:.1f}",
+            ]
+        )
+    cells = [list(headers)] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = ["Long-horizon fast-forward (steady-long)"]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -56,6 +56,7 @@ def build_report(
     *,
     note: str = "",
     campaign: Optional[Dict] = None,
+    fastforward: Optional[Dict] = None,
 ) -> Dict:
     rows = [sample_row(s) for s in samples]
     by_key = {row["key"]: row for row in rows}
@@ -70,6 +71,9 @@ def build_report(
         #: serial-vs-parallel full-suite walls from the campaign
         #: benchmark (``repro.perf.campaign_bench``), when run.
         "campaign": campaign,
+        #: wall-vs-horizon curve from the long-horizon fast-forward
+        #: benchmark (``repro.perf.longhorizon``), when run.
+        "fastforward": fastforward,
         "results": rows,
     }
 
@@ -80,10 +84,13 @@ def write_report(
     *,
     note: str = "",
     campaign: Optional[Dict] = None,
+    fastforward: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_perf.json``; returns the path written."""
     target = Path(path if path is not None else DEFAULT_PATH)
-    report = build_report(samples, note=note, campaign=campaign)
+    report = build_report(
+        samples, note=note, campaign=campaign, fastforward=fastforward
+    )
     target.write_text(json.dumps(report, indent=2) + "\n")
     return target
 

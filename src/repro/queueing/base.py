@@ -251,6 +251,15 @@ class ApScheduler:
         for listener in self.completion_listeners:
             listener(packet, airtime_us, success, attempts, rate_mbps)
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift any clock-bearing scheduler state after a kernel jump.
+
+        The throughput-fair disciplines (FIFO/RR/DRR) hold no absolute
+        timestamps — queues, drop counters and round-robin cursors are
+        all time-free — so the base implementation is a deliberate no-op.
+        TBR overrides this to move its timer phases and token windows.
+        """
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

@@ -90,10 +90,21 @@ class ScenarioRuntime:
     defers to the ``REPRO_SANITIZE`` environment switch.  Sanitized
     runs execute the identical event sequence — the sanitizer only
     observes — so results stay byte-identical either way.
+
+    ``fast_forward`` arms the steady-state fast-forward engine
+    (:mod:`repro.sim.steady`); ``None`` defers to ``REPRO_FASTFWD``.
+    It is a *runtime* flag, not part of the spec — content digests and
+    campaign cache keys are unchanged, because the results must agree
+    either way (byte-identically whenever the detector inhibits, within
+    printed precision on certified steady stretches).
     """
 
     def __init__(
-        self, spec: ScenarioSpec, *, sanitize: Optional[bool] = None
+        self,
+        spec: ScenarioSpec,
+        *,
+        sanitize: Optional[bool] = None,
+        fast_forward: Optional[bool] = None,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -103,6 +114,12 @@ class ScenarioRuntime:
             sanitize = sanitize_enabled()
         self.sanitize = sanitize
         self.sanitizer = None
+        if fast_forward is None:
+            from repro.sim.steady import fastforward_enabled
+
+            fast_forward = fastforward_enabled()
+        self.fast_forward = fast_forward
+        self.ff_engine = None
         self.cell = Cell(
             seed=spec.seed,
             scheduler=spec.scheduler,
@@ -455,8 +472,13 @@ class ScenarioRuntime:
             from repro.sim.sanitizer import RuntimeSanitizer
 
             self.sanitizer = RuntimeSanitizer(self.cell).install()
+        if self.fast_forward and self.ff_engine is None:
+            from repro.sim.steady import FastForwardEngine
+
+            self.ff_engine = FastForwardEngine(self.cell)
+        runner = self.ff_engine.run if self.ff_engine is not None else self.cell.run
         try:
-            self.cell.run(
+            runner(
                 seconds=self.spec.seconds,
                 warmup_seconds=self.spec.warmup_seconds,
             )

@@ -85,6 +85,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run under the runtime invariant sanitizer (same event "
         "sequence; violations abort with component and sim-time)",
     )
+    run_p.add_argument(
+        "--fast-forward", action="store_true",
+        help="enable the steady-state fast-forward engine (skips "
+        "converged stretches analytically; renders match within "
+        "printed precision)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="fan a parameter sweep out as cached campaign jobs"
@@ -122,6 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--sanitize", action="store_true",
         help="run every point under the runtime invariant sanitizer "
         "(exported to workers via REPRO_SANITIZE)",
+    )
+    sweep_p.add_argument(
+        "--fast-forward", action="store_true",
+        help="run every point through the steady-state fast-forward "
+        "engine (exported to workers via REPRO_FASTFWD)",
     )
 
     args = parser.parse_args(argv)
@@ -177,7 +188,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         sanitize = True if args.sanitize else None
-        print(render_result(run_spec(spec, sanitize=sanitize)))
+        fast_forward = True if args.fast_forward else None
+        print(
+            render_result(
+                run_spec(spec, sanitize=sanitize, fast_forward=fast_forward)
+            )
+        )
         return 0
 
     # sweep
@@ -223,6 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sim.sanitizer import SANITIZE_ENV
 
         os.environ[SANITIZE_ENV] = "1"
+    if args.fast_forward:
+        import os
+
+        from repro.sim.steady import FASTFWD_ENV
+
+        os.environ[FASTFWD_ENV] = "1"
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     retry = (

@@ -23,6 +23,9 @@ scheduler*:
 * ``fairness-outage`` — the AP itself goes dark mid-run and recovers;
   survivors re-associate with jittered delays and the regulator must
   re-converge to 1/n_active within a bounded number of FILLEVENTs;
+* ``steady-long`` — long saturated downlink-UDP horizons with sparse
+  rate switches; the steady-state fast-forward engine's benchmark
+  workload (O(transitions) instead of O(packets));
 * ``chaos``    — a seeded generator mixes crash, outage, degrade,
   burst and rate-switch events into one randomized (but fully
   deterministic) timeline, for soak-testing under the sanitizer.
@@ -433,6 +436,70 @@ def _build_fairness_outage(
 
 
 # ----------------------------------------------------------------------
+# steady-long — long saturated horizons with sparse perturbations
+# ----------------------------------------------------------------------
+def _build_steady_long(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 100.0,
+    warmup_s: float = 1.0,
+    n_stations: int = 4,
+    udp_mbps: float = 4.0,
+    perturb_every_s: float = 25.0,
+) -> ScenarioSpec:
+    """Long saturated downlink-UDP horizons with sparse rate switches.
+
+    ``n_stations`` stations on the 802.11b rate ladder each receive a
+    saturating downlink UDP flow, and nothing else happens except one
+    station ("mover") stepping around the ladder every
+    ``perturb_every_s`` — the steady-state fast-forward engine's home
+    turf.  Event-by-event, cost is O(packets) over the whole horizon;
+    fast-forwarded, it is O(transitions): a calibration window after
+    each rate switch, then one analytic jump to the next switch.
+    """
+    if perturb_every_s <= 0:
+        # Guard before the perturbation loop: a non-positive period
+        # would never advance `at` and generate events unboundedly.
+        raise ValueError(
+            f"perturb_every_s must be positive, got {perturb_every_s!r}"
+        )
+    ladder = (11.0, 5.5, 2.0, 1.0)
+    stations: List[StationSpec] = []
+    flows: List[FlowSpec] = []
+    for i in range(n_stations):
+        name = "mover" if i == 0 else f"sat{i}"
+        stations.append(StationSpec(name, rate_mbps=ladder[i % len(ladder)]))
+        flows.append(
+            FlowSpec(
+                station=name, kind="udp", direction="down",
+                rate_mbps=udp_mbps,
+            )
+        )
+    timeline: List[Any] = []
+    at = warmup_s + perturb_every_s
+    step = 1
+    while at < warmup_s + seconds:
+        timeline.append(
+            RateSwitchEvent(
+                at_s=at, station="mover",
+                rate_mbps=ladder[step % len(ladder)],
+            )
+        )
+        at += perturb_every_s
+        step += 1
+    return ScenarioSpec(
+        name="steady-long",
+        scheduler=scheduler,
+        stations=tuple(stations),
+        flows=tuple(flows),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
 # chaos — a seeded soak timeline mixing every fault kind
 # ----------------------------------------------------------------------
 def _build_chaos(
@@ -625,6 +692,12 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             "the AP blacks out mid-run; shares must re-converge after",
             _build_fairness_outage,
             _defaults_of(_build_fairness_outage),
+        ),
+        ScenarioFamily(
+            "steady-long",
+            "long saturated UDP horizons with sparse rate switches",
+            _build_steady_long,
+            _defaults_of(_build_steady_long),
         ),
         ScenarioFamily(
             "chaos",

@@ -47,6 +47,12 @@ class ScenarioResult:
     #: in flight).  Deliberately absent from :func:`render_result`, so
     #: existing goldens stay byte-identical.
     pool_leaked: int = 0
+    #: steady-state fast-forward jumps taken and simulated seconds
+    #: skipped (0 unless the run was fast-forwarded; not rendered, so
+    #: goldens — and cached results pickled before the field existed —
+    #: stay stable).
+    fast_forwards: int = 0
+    fast_forwarded_s: float = 0.0
 
     @property
     def total_mbps(self) -> float:
@@ -54,16 +60,23 @@ class ScenarioResult:
 
 
 def run_spec(
-    spec: ScenarioSpec, *, sanitize: Optional[bool] = None
+    spec: ScenarioSpec,
+    *,
+    sanitize: Optional[bool] = None,
+    fast_forward: Optional[bool] = None,
 ) -> ScenarioResult:
     """Compile, run and measure one scenario spec.
 
     ``sanitize=True`` runs under the
-    :class:`~repro.sim.sanitizer.RuntimeSanitizer`; ``None`` defers to
-    the ``REPRO_SANITIZE`` environment switch (which is how campaign
-    worker processes inherit the setting).
+    :class:`~repro.sim.sanitizer.RuntimeSanitizer`; ``fast_forward=True``
+    runs through the steady-state fast-forward engine
+    (:mod:`repro.sim.steady`).  Either ``None`` defers to the matching
+    environment switch (``REPRO_SANITIZE`` / ``REPRO_FASTFWD``), which
+    is how campaign worker processes inherit the settings.
     """
-    runtime = ScenarioRuntime(spec, sanitize=sanitize)
+    runtime = ScenarioRuntime(
+        spec, sanitize=sanitize, fast_forward=fast_forward
+    )
     sim = runtime.cell.sim
     runtime.run()
     return ScenarioResult(
@@ -80,6 +93,8 @@ def run_spec(
         events_executed=sim.events_executed,
         events_by_category=sim.events_by_category(),
         pool_leaked=runtime.pool_leaked(),
+        fast_forwards=sim.fast_forwards,
+        fast_forwarded_s=sim.fast_forwarded_us / 1e6,
     )
 
 

@@ -76,6 +76,12 @@ class Simulator:
         #: default) costs one local truth test per event; the runtime
         #: invariant sanitizer installs its checker here.
         self.trace = None
+        #: observers of fast-forward jumps, called as ``fn(old_now, new_now)``
+        #: after the clock and heap have been shifted (sanitizer hooks here).
+        self.ff_listeners: List[Callable[[float, float], None]] = []
+        #: number of fast_forward_to() jumps and total microseconds skipped.
+        self.fast_forwards = 0
+        self.fast_forwarded_us = 0.0
         self._rngs: dict[str, random.Random] = {}
 
     # ------------------------------------------------------------------
@@ -511,3 +517,82 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of non-cancelled events currently queued.  O(1)."""
         return self._live
+
+    def next_pending(self, category: Optional[int] = None) -> Optional[float]:
+        """Earliest pending event time, optionally filtered by category.
+
+        Unlike :meth:`peek` this is a full O(n) heap walk — it skips
+        cancelled entries without popping them and can answer "when is
+        the next *timeline* event?" (``category=EventCategory.OTHER``),
+        which the fast-forward planner uses to bound a jump.  Returns
+        ``None`` when nothing matching is queued.
+        """
+        best: Optional[float] = None
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                continue
+            if category is not None and event.category != category:
+                continue
+            if best is None or entry[0] < best:
+                best = entry[0]
+        return best
+
+    # ------------------------------------------------------------------
+    # fast-forward
+    # ------------------------------------------------------------------
+    def fast_forward_to(self, target: float) -> None:
+        """Jump the clock to ``target``, shifting pending work with it.
+
+        Every pending non-timeline event (category TRAFFIC/MAC/PHY/TIMER)
+        keeps its *relative* distance to "now": its timestamp moves by
+        ``target - now``, so in-flight transmissions, backoff countdowns
+        and periodic timers resume with the exact phase they had.
+        Timeline events (category OTHER — scenario perturbations, chaos
+        injections) stay at their absolute times: jumping past one is a
+        planner bug and raises :class:`SimulationError`.
+
+        The caller owns the semantics of the skipped interval (crediting
+        accumulators, shifting component-held absolute timestamps); the
+        kernel only moves the clock and the heap.  Listeners registered
+        in :attr:`ff_listeners` are notified as ``fn(old_now, new_now)``
+        after the jump, which is how the runtime sanitizer distinguishes
+        a sanctioned skip from a monotonicity violation.
+        """
+        if self._running:
+            raise SimulationError("fast_forward_to() inside run()")
+        delta = target - self._now
+        if delta < 0:
+            raise SimulationError(
+                f"cannot fast-forward to {target!r}, now is {self._now!r}"
+            )
+        if delta == 0:
+            return
+        heap = self._heap
+        rebuilt: List[Tuple[float, int, int, Event]] = []
+        keep = rebuilt.append
+        for entry in heap:
+            event = entry[3]
+            if event.cancelled:
+                event._in_heap = False
+                continue
+            if event.category == EventCategory.OTHER:
+                if entry[0] < target:
+                    raise SimulationError(
+                        f"timeline event at {entry[0]!r} pending before "
+                        f"fast-forward target {target!r}"
+                    )
+                keep(entry)
+                continue
+            new_time = entry[0] + delta
+            event.time = new_time
+            keep((new_time, entry[1], entry[2], event))
+        heap[:] = rebuilt
+        heapify(heap)
+        self._stale = 0
+        old_now = self._now
+        self._now = target
+        self.fast_forwards += 1
+        self.fast_forwarded_us += delta
+        for listener in self.ff_listeners:
+            listener(old_now, target)

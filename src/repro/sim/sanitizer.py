@@ -167,11 +167,38 @@ class RuntimeSanitizer:
         """Attach to the cell's kernel.  Call before ``run()`` — the
         run loop binds the hook once at entry."""
         self.cell.sim.trace = self._trace
+        self.cell.sim.ff_listeners.append(self.on_fast_forward)
         return self
 
     def uninstall(self) -> None:
         if self.cell.sim.trace is self._trace:
             self.cell.sim.trace = None
+        try:
+            self.cell.sim.ff_listeners.remove(self.on_fast_forward)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # fast-forward awareness
+    # ------------------------------------------------------------------
+    def on_fast_forward(self, old_now: float, new_now: float) -> None:
+        """A sanctioned clock jump happened (kernel fast-forward).
+
+        The monotonicity watermark advances to the jump target (a skip
+        is not a regression), the periodic-check and strand clocks shift
+        so skipped time does not count against their windows, and the
+        full TBR accounting walk runs immediately at the boundary — the
+        planner's synthesized token state (credited spend/fill, carried
+        balances, shifted windows) must satisfy every normal-execution
+        invariant, unweakened, the instant the skip lands.
+        """
+        delta = new_now - old_now
+        self._last_time = new_now
+        if self._next_check != float("-inf"):
+            self._next_check += delta
+        if self._strand_since is not None:
+            self._strand_since += delta
+        self._check_tbr(new_now)
 
     # ------------------------------------------------------------------
     # per-event hook

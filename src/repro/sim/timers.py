@@ -59,6 +59,16 @@ class PeriodicTimer:
             self._event.cancel()
             self._event = None
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the timer's phase reference after a kernel clock jump.
+
+        The pending fire event moves with the heap; ``_last_fire`` must
+        move by the same amount or the first post-jump callback would be
+        handed the whole skipped interval as ``elapsed`` (for TBR's fill
+        timer that would grant the skip's worth of tokens at once).
+        """
+        self._last_fire += delta_us
+
     def _next_delay(self) -> float:
         if self._jitter_rng is not None and self._jitter_fraction > 0.0:
             spread = self.period * self._jitter_fraction

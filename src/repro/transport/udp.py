@@ -124,6 +124,12 @@ class UdpSender:
             self._timer.cancel()
             self._timer = None
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the stop deadline after a kernel jump (the pacing timer
+        itself lives in the heap and moves with it)."""
+        if self.stop_us is not None:
+            self.stop_us += delta_us
+
 
 class UdpDownlinkSource:
     """Demand-driven CBR source feeding an AP's downlink wire.
@@ -273,6 +279,20 @@ class UdpDownlinkSource:
         if self.stop_us is None or self.stop_us > now:
             self.stop_us = now
         self.link.source_stopped(self)
+
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the arrival schedule after a kernel jump.
+
+        Called by the owning wire's ``fast_forward`` (the wire shifts
+        its ``_arrivals`` heap by the same amount, so ``peek_fire_us``
+        stays consistent with the heap entries).
+        """
+        self._fire_us += delta_us
+        if self._rewound:
+            self._rewound = [fire + delta_us for fire in self._rewound]
+        self._staged_ts += delta_us
+        if self.stop_us is not None:
+            self.stop_us += delta_us
 
 
 class UdpSink:

@@ -289,6 +289,28 @@ class WiredLink:
         if not folded or folded[-1].fire_us <= self.sim.now:
             self._fold_next()
 
+    def fast_forward(self, delta_us: float) -> None:
+        """Shift the pipe's serialization clock after a kernel jump.
+
+        ``_busy_until``, the unfolded arrival schedule, the folded-but-
+        undelivered records and every attached demand source move by the
+        same ``delta_us`` the heap moved, so the fold/unwind invariants
+        (fire-time order, ``busy_before`` restoration, ``peek_fire_us``
+        consistency with ``_arrivals``) are preserved verbatim.  The
+        uniform shift keeps the arrivals heap ordered — no re-heapify.
+        """
+        self._busy_until += delta_us
+        self._arrivals[:] = [
+            (fire + delta_us, index) for fire, index in self._arrivals
+        ]
+        for record in self._folded:
+            record.fire_us += delta_us
+            record.busy_before += delta_us
+        for source in self._sources:
+            ff = getattr(source, "fast_forward", None)
+            if ff is not None:
+                ff(delta_us)
+
     def _unwind_tail(self) -> None:
         """Roll back the speculative fold (see module docstring)."""
         record = self._folded.pop()
