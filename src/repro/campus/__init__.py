@@ -1,0 +1,24 @@
+"""The ESS layer: N cells, one kernel, roaming and co-channel coupling.
+
+::
+
+    from repro.campus import Campus, CampusRuntime
+
+    campus = Campus(seed=1, scheduler="tbr")
+    campus.add_cell("c0", channel=1)
+    campus.add_cell("c1", channel=1)
+    campus.connect("c0", "c1")          # couples: same RF channel
+    campus.add_station("c0", "n1", rate_mbps=11.0)
+    campus.run(seconds=5, warmup_seconds=1)
+
+Scenario specs grow a ``campus`` section
+(:class:`~repro.scenario.spec.CampusSpec`) compiled by
+:class:`CampusRuntime`; ``python -m repro scenario run campus`` is the
+command-line face and ``python -m repro campus-scaling`` the perf leg.
+"""
+
+from repro.campus.builder import CampusRuntime
+from repro.campus.core import Campus
+from repro.campus.sanitizer import CampusSanitizer
+
+__all__ = ["Campus", "CampusRuntime", "CampusSanitizer"]

@@ -135,6 +135,9 @@ class Channel:
         #: unsubscribed listeners observe the same "busy until told
         #: otherwise" state the per-listener on_idle callbacks provide.
         self._idle_pending = False
+        #: co-channel neighbours (see :meth:`couple`): media that hear
+        #: every transmission started here as foreign interference.
+        self._coupled: List["Channel"] = []
 
     # ------------------------------------------------------------------
     def attach(self, listener: ChannelListener) -> None:
@@ -291,13 +294,40 @@ class Channel:
             tx.end += delta_us
 
     # ------------------------------------------------------------------
+    def couple(self, other: "Channel") -> None:
+        """Make ``other`` overhear every transmission started here.
+
+        Co-channel interference between cells on the same RF channel: a
+        frame put on this medium also *begins* on ``other`` — marking it
+        busy, colliding with whatever is on the air there, and ending at
+        the same instant — without this medium hearing anything back.
+        Couple both directions for symmetric interference (the campus
+        layer does).  Addresses must be unique across coupled media: a
+        foreign clean unicast finds no local destination, so it costs
+        carrier time but delivers nothing.
+        """
+        if other is self:
+            raise ValueError("a channel cannot couple to itself")
+        if other.sim is not self.sim:
+            raise ValueError("coupled channels must share one simulator")
+        if other not in self._coupled:
+            self._coupled.append(other)
+
     def transmit(self, frame: "Frame", duration: float) -> Transmission:
         """Begin transmitting ``frame``; it ends ``duration`` us from now.
 
         Called by a MAC that has decided to transmit *this instant*.
         Collision marking and busy notification happen synchronously; the
-        frame-end event is scheduled at PHY priority.
+        frame-end event is scheduled at PHY priority.  Coupled co-channel
+        media (see :meth:`couple`) each begin their own copy of the
+        transmission — one extra PHY frame-end event per neighbour.
         """
+        tx = self._begin(frame, duration)
+        for other in self._coupled:
+            other._begin(frame, duration)
+        return tx
+
+    def _begin(self, frame: "Frame", duration: float) -> Transmission:
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration!r}")
         now = self.sim.now

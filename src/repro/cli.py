@@ -10,6 +10,7 @@ Usage::
     python -m repro campaign verify-cache [--purge]
     python -m repro scenario run churn [--set period_s=1.0]
     python -m repro perf [--stations 4,16,64,128] [--schedulers fifo,drr,tbr]
+    python -m repro campus-scaling [--cells 2,4,8,16,32,64]
 
 Each experiment prints the same paper-vs-measured rendering the
 benchmark harness stores under ``benchmarks/results/``.  ``campaign``
@@ -62,6 +63,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.scenario.cli import main as scenario_main
 
         return scenario_main(argv[1:])
+    if argv and argv[0] == "campus-scaling":
+        from repro.perf.campus_scaling import main as campus_main
+
+        return campus_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -96,6 +101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(python -m repro scenario --help)")
         print("  perf     Simulator scaling benchmark -> BENCH_perf.json "
               "(python -m repro perf --help)")
+        print("  campus-scaling ESS cells-vs-wall benchmark -> "
+              "BENCH_perf.json (python -m repro campus-scaling --help)")
         return 0
 
     if args.experiment == "all":

@@ -92,8 +92,14 @@ class Cell:
         oracle_retry_accounting: bool = False,
         ap_rate_controller: Optional[RateController] = None,
         keep_usage_records: bool = False,
+        sim: Optional[Simulator] = None,
+        ap_address: str = "ap",
     ) -> None:
-        self.sim = Simulator(seed=seed)
+        # A campus hands every cell the same kernel (``sim``); a lone
+        # cell owns its own.  Either way all named RNG streams derive
+        # from the seed, so a single shared-kernel cell is
+        # byte-identical to a standalone one.
+        self.sim = sim if sim is not None else Simulator(seed=seed)
         self.phy = phy
         self.channel = Channel(self.sim, loss_model)
         self.usage = ChannelUsageMonitor(self.sim, keep_records=keep_usage_records)
@@ -103,6 +109,7 @@ class Cell:
             self.channel,
             self.scheduler,
             phy,
+            address=ap_address,
             rate_controller=ap_rate_controller,
             wired_delay_us=wired_delay_us,
             oracle_retry_accounting=oracle_retry_accounting,
@@ -140,6 +147,7 @@ class Cell:
             self.channel,
             name,
             self.phy,
+            ap_address=self.ap.address,
             rate_controller=rate_controller,
             rate_mbps=rate_mbps,
             queue_capacity=queue_capacity,

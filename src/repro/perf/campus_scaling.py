@@ -1,0 +1,386 @@
+"""Campus scaling benchmark: cells-vs-wall-clock on one kernel.
+
+The scaling matrix measures one saturated cell; this leg measures the
+ESS layer (:mod:`repro.campus`) — the ``campus`` scenario family swept
+over the cell count with the classic 1/6/11 reuse plan, one local
+uploader per cell and a roamer population scaling with the campus, so
+every point carries both co-channel coupling (the ``i±3`` neighbours
+share a channel) and mid-run handoffs.  The tracked quantity is
+wall-clock per simulated second as the campus grows: events are linear
+in cells (coupling adds a constant per-frame neighbour cost), so the
+curve exposes any super-linear kernel overhead — heap depth, membership
+bookkeeping — that a single-cell benchmark can never see.
+
+Points whose projected wall exceeds the budget are *skipped and
+annotated* rather than silently endured, the same honesty rule the
+long-horizon and campaign benchmarks apply.  The projection is
+geometric from the last two measured points (falling back to linear
+from one), because the very overheads the benchmark hunts for are the
+super-linear ones.
+
+Results land in ``BENCH_perf.json`` under the ``campus`` key via
+``python -m repro campus-scaling`` (read-modify-write: the rest of the
+report survives) or ``python -m repro perf --campus`` (full rewrite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Cell-count sweep (the cells-vs-wall curve's x axis).
+DEFAULT_CELL_COUNTS = (2, 4, 8, 16, 32, 64)
+
+#: Scenario family the benchmark sweeps.
+FAMILY = "campus"
+
+#: Simulated seconds per point — short enough that the whole default
+#: curve lands, long enough that every point fires real roams.
+DEFAULT_SECONDS = 2.0
+DEFAULT_WARMUP_S = 0.5
+
+#: Wall-clock budget for any single point; larger campuses past it are
+#: projected from the measured curve and annotated as skipped.
+DEFAULT_BUDGET_S = 120.0
+
+
+@dataclass
+class CampusScaleSample:
+    """One point on the cells-vs-wall curve.
+
+    ``wall_s`` is ``None`` when the point was skipped
+    (``skipped_reason`` says why and ``projected_wall_s`` carries the
+    projection used in its place).
+    """
+
+    n_cells: int
+    stations: int
+    sim_seconds: float
+    wall_s: Optional[float]
+    events: Optional[int]
+    total_mbps: Optional[float]
+    roams: Optional[int]
+    skipped_reason: Optional[str] = None
+    projected_wall_s: Optional[float] = None
+
+    @property
+    def events_per_sec(self) -> Optional[float]:
+        if self.wall_s is None or self.events is None or self.wall_s <= 0:
+            return None
+        return self.events / self.wall_s
+
+    @property
+    def wall_s_per_sim_s(self) -> Optional[float]:
+        wall = self.wall_s if self.wall_s is not None else self.projected_wall_s
+        if wall is None:
+            return None
+        return wall / self.sim_seconds
+
+
+def _project_wall(
+    measured: Sequence[CampusScaleSample], n_cells: int
+) -> Optional[float]:
+    """Projected wall for ``n_cells`` from the measured prefix.
+
+    Geometric in the cell count when two points exist (captures
+    super-linear growth), linear from the last point otherwise.
+    """
+    walls = [s for s in measured if s.wall_s is not None]
+    if not walls:
+        return None
+    last = walls[-1]
+    if len(walls) >= 2:
+        prev = walls[-2]
+        if (
+            prev.wall_s > 0
+            and last.wall_s > 0
+            and last.n_cells > prev.n_cells
+        ):
+            growth = math.log(last.wall_s / prev.wall_s) / math.log(
+                last.n_cells / prev.n_cells
+            )
+            growth = max(1.0, growth)  # never project sub-linear
+            return last.wall_s * (n_cells / last.n_cells) ** growth
+    return last.wall_s * (n_cells / last.n_cells)
+
+
+def run_campus_scaling(
+    cell_counts: Sequence[int] = DEFAULT_CELL_COUNTS,
+    *,
+    seed: int = 1,
+    seconds: float = DEFAULT_SECONDS,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    budget_s: float = DEFAULT_BUDGET_S,
+    progress: Optional[Callable[[int, float], None]] = None,
+) -> List[CampusScaleSample]:
+    """Sweep the ``campus`` family over ``cell_counts``.
+
+    Every point uses the 1/6/11 reuse plan (``n_channels=3``), one
+    local per cell and ``max(1, n_cells // 2)`` roamers, so coupling
+    and handoff cost both scale with the campus.  Points run smallest
+    first; each measured point refines the projection that decides
+    whether the next fits the budget.  ``progress(n_cells, wall_s)``
+    fires after each measured point.
+    """
+    from repro.scenario.registry import build_spec
+    from repro.scenario.runner import run_spec
+
+    samples: List[CampusScaleSample] = []
+    for n_cells in sorted(cell_counts):
+        n_roamers = max(1, n_cells // 2)
+        stations = n_cells + n_roamers
+        projected = _project_wall(samples, n_cells)
+        if projected is not None and projected > budget_s:
+            samples.append(
+                CampusScaleSample(
+                    n_cells=n_cells,
+                    stations=stations,
+                    sim_seconds=seconds,
+                    wall_s=None,
+                    events=None,
+                    total_mbps=None,
+                    roams=None,
+                    skipped_reason=(
+                        f"skipped: projected wall {projected:.1f}s "
+                        f"exceeds the {budget_s:.0f}s budget "
+                        f"(projected from the measured curve)"
+                    ),
+                    projected_wall_s=projected,
+                )
+            )
+            continue
+        spec = build_spec(
+            FAMILY,
+            seed=seed,
+            seconds=seconds,
+            warmup_s=warmup_s,
+            n_cells=n_cells,
+            n_channels=3,
+            n_roamers=n_roamers,
+        )
+        t0 = time.perf_counter()
+        result = run_spec(spec)
+        wall = time.perf_counter() - t0
+        if progress is not None:
+            progress(n_cells, wall)
+        samples.append(
+            CampusScaleSample(
+                n_cells=n_cells,
+                stations=stations,
+                sim_seconds=seconds,
+                wall_s=wall,
+                events=result.events_executed,
+                total_mbps=result.total_mbps,
+                roams=result.roams_fired,
+            )
+        )
+    return samples
+
+
+def campus_row(
+    samples: Sequence[CampusScaleSample], *, seed: int = 1
+) -> Dict:
+    """Flatten the sweep for ``BENCH_perf.json``'s ``campus`` key.
+
+    ``headline_wall_s_per_sim_s`` is the largest *measured* campus's
+    wall per simulated second — the scaling number a PR quotes;
+    per-point rows keep the whole curve (and any ``skipped_reason``
+    annotations) for dashboards.
+    """
+    rows = []
+    for s in samples:
+        rows.append(
+            {
+                "n_cells": s.n_cells,
+                "stations": s.stations,
+                "sim_seconds": s.sim_seconds,
+                "wall_s": None if s.wall_s is None else round(s.wall_s, 4),
+                "wall_s_per_sim_s": (
+                    None
+                    if s.wall_s_per_sim_s is None
+                    else round(s.wall_s_per_sim_s, 6)
+                ),
+                "events": s.events,
+                "events_per_sec": (
+                    None
+                    if s.events_per_sec is None
+                    else round(s.events_per_sec, 1)
+                ),
+                "total_mbps": (
+                    None
+                    if s.total_mbps is None
+                    else round(s.total_mbps, 4)
+                ),
+                "roams": s.roams,
+                "skipped_reason": s.skipped_reason,
+                "projected_wall_s": (
+                    None
+                    if s.projected_wall_s is None
+                    else round(s.projected_wall_s, 4)
+                ),
+            }
+        )
+    measured = [s for s in samples if s.wall_s is not None]
+    largest = max(measured, key=lambda s: s.n_cells) if measured else None
+    return {
+        "family": FAMILY,
+        "seed": seed,
+        "channel_plan": "1/6/11",
+        "cells": rows,
+        "headline_n_cells": None if largest is None else largest.n_cells,
+        "headline_wall_s_per_sim_s": (
+            None
+            if largest is None
+            else round(largest.wall_s_per_sim_s, 6)
+        ),
+    }
+
+
+def render_campus_scaling(samples: Sequence[CampusScaleSample]) -> str:
+    """Fixed-width cells-vs-wall table for the CLI."""
+    headers = (
+        "cells", "stations", "roams", "events", "events/sec",
+        "wall s / sim s", "Mbps",
+    )
+    rows: List[List[str]] = []
+    for s in samples:
+        if s.wall_s is None:
+            wall = (
+                "-"
+                if s.wall_s_per_sim_s is None
+                else f"~{s.wall_s_per_sim_s:.3f} (skipped)"
+            )
+            rows.append(
+                [str(s.n_cells), str(s.stations), "-", "-", "-", wall, "-"]
+            )
+            continue
+        rows.append(
+            [
+                str(s.n_cells),
+                str(s.stations),
+                str(s.roams),
+                str(s.events),
+                f"{s.events_per_sec:,.0f}",
+                f"{s.wall_s_per_sim_s:.3f}",
+                f"{s.total_mbps:.2f}",
+            ]
+        )
+    cells = [list(headers)] + rows
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = ["Campus scaling (1/6/11 plan, roamers = cells/2)"]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def merge_into_report(row: Dict, path: Optional[str] = None) -> Path:
+    """Read-modify-write the ``campus`` key of ``BENCH_perf.json``.
+
+    The rest of the report — the scaling matrix, campaign and
+    fast-forward sections — survives untouched; a missing report gets a
+    minimal stub so the standalone leg still lands somewhere.
+    """
+    from repro.perf.report import DEFAULT_PATH
+
+    target = Path(path if path is not None else DEFAULT_PATH)
+    if target.exists():
+        report = json.loads(target.read_text())
+    else:
+        report = {
+            "benchmark": "perf_scaling",
+            "paper": "conf_usenix_TanG04",
+            "note": (
+                "campus-scaling only (run `python -m repro perf` for "
+                "the full matrix)"
+            ),
+        }
+    report["campus"] = row
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    return target
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro campus-scaling`` — run and record the curve."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campus-scaling",
+        description=(
+            "Measure ESS wall-clock scaling (campus family, 1/6/11 "
+            "reuse plan, roamers scaling with the campus) and merge the "
+            "curve into BENCH_perf.json's 'campus' key."
+        ),
+    )
+    parser.add_argument(
+        "--cells",
+        default=",".join(str(n) for n in DEFAULT_CELL_COUNTS),
+        help="comma-separated cell counts (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=DEFAULT_SECONDS,
+        help="simulated seconds per point (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_S,
+        help="wall-clock budget per point in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="report to merge into (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the table without touching the JSON report",
+    )
+    args = parser.parse_args(argv)
+    try:
+        cell_counts = [
+            int(n) for n in args.cells.split(",") if n.strip()
+        ]
+    except ValueError:
+        parser.error(f"invalid --cells {args.cells!r}")
+    if not cell_counts or any(n < 2 for n in cell_counts):
+        parser.error("--cells values must be >= 2 (roamers need a pair)")
+    if args.seconds <= 0:
+        parser.error("--seconds must be positive")
+    if args.budget <= 0:
+        parser.error("--budget must be positive")
+
+    print(
+        f"Running campus scaling over {len(cell_counts)} cell counts "
+        f"(seed {args.seed}) ..."
+    )
+    samples = run_campus_scaling(
+        cell_counts,
+        seed=args.seed,
+        seconds=args.seconds,
+        budget_s=args.budget,
+        progress=lambda n, wall: print(
+            f"  {n:>3} cells  {wall:8.3f}s wall"
+        ),
+    )
+    print()
+    print(render_campus_scaling(samples))
+    if not args.no_write:
+        path = merge_into_report(
+            campus_row(samples, seed=args.seed), args.output
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

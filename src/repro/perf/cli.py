@@ -10,6 +10,7 @@ Examples::
     python -m repro perf --output /tmp/b.json    # don't clobber BENCH_perf.json
     python -m repro perf --campaign              # + serial-vs-parallel campaign
     python -m repro perf --long-horizon          # + fast-forward wall-vs-horizon
+    python -m repro perf --campus                # + campus cells-vs-wall scaling
 """
 
 from __future__ import annotations
@@ -123,6 +124,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="workers for the campaign benchmark's parallel leg "
         "(default: one per CPU; on a single-core host the parallel "
         "leg is skipped and annotated in the JSON)",
+    )
+    parser.add_argument(
+        "--campus",
+        action="store_true",
+        help=(
+            "also run the campus scaling benchmark (campus family swept "
+            "over cell counts, 1/6/11 reuse plan) and record the "
+            "cells-vs-wall curve in the report"
+        ),
     )
     parser.add_argument(
         "--long-horizon",
@@ -269,6 +279,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_long_horizon(lh_samples))
         fastforward = longhorizon_row(lh_samples, seed=args.seed)
 
+    campus = None
+    if args.campus:
+        from repro.perf.campus_scaling import (
+            campus_row,
+            render_campus_scaling,
+            run_campus_scaling,
+        )
+
+        print("\nRunning campus scaling benchmark ...")
+        campus_samples = run_campus_scaling(
+            seed=args.seed,
+            progress=lambda n, wall: print(
+                f"  {n:>3} cells  {wall:8.3f}s wall"
+            ),
+        )
+        print(render_campus_scaling(campus_samples))
+        campus = campus_row(campus_samples, seed=args.seed)
+
     if not no_write:
         path = write_report(
             samples,
@@ -276,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             note=args.note,
             campaign=campaign,
             fastforward=fastforward,
+            campus=campus,
         )
         print(f"wrote {path}")
     return 0

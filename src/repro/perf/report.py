@@ -57,6 +57,7 @@ def build_report(
     note: str = "",
     campaign: Optional[Dict] = None,
     fastforward: Optional[Dict] = None,
+    campus: Optional[Dict] = None,
 ) -> Dict:
     rows = [sample_row(s) for s in samples]
     by_key = {row["key"]: row for row in rows}
@@ -74,6 +75,9 @@ def build_report(
         #: wall-vs-horizon curve from the long-horizon fast-forward
         #: benchmark (``repro.perf.longhorizon``), when run.
         "fastforward": fastforward,
+        #: cells-vs-wall curve from the campus scaling benchmark
+        #: (``repro.perf.campus_scaling``), when run.
+        "campus": campus,
         "results": rows,
     }
 
@@ -85,11 +89,16 @@ def write_report(
     note: str = "",
     campaign: Optional[Dict] = None,
     fastforward: Optional[Dict] = None,
+    campus: Optional[Dict] = None,
 ) -> Path:
     """Write ``BENCH_perf.json``; returns the path written."""
     target = Path(path if path is not None else DEFAULT_PATH)
     report = build_report(
-        samples, note=note, campaign=campaign, fastforward=fastforward
+        samples,
+        note=note,
+        campaign=campaign,
+        fastforward=fastforward,
+        campus=campus,
     )
     target.write_text(json.dumps(report, indent=2) + "\n")
     return target

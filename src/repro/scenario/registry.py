@@ -28,7 +28,10 @@ scheduler*:
   workload (O(transitions) instead of O(packets));
 * ``chaos``    — a seeded generator mixes crash, outage, degrade,
   burst and rate-switch events into one randomized (but fully
-  deterministic) timeline, for soak-testing under the sanitizer.
+  deterministic) timeline, for soak-testing under the sanitizer;
+* ``campus``   — an ESS of N cells on one kernel: per-cell locals plus
+  slow roamers handing off mid-run, with co-channel coupling between
+  neighbouring cells that share an RF channel.
 """
 
 from __future__ import annotations
@@ -41,6 +44,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenario.spec import (
     ApOutageEvent,
+    CampusSpec,
+    CellSpec,
     ChannelDegradeEvent,
     FlowSpec,
     JoinEvent,
@@ -48,6 +53,7 @@ from repro.scenario.spec import (
     RateSwitchEvent,
     ReaperSpec,
     RejoinEvent,
+    RoamEvent,
     ScenarioSpec,
     StationCrashEvent,
     StationSpec,
@@ -645,6 +651,138 @@ def _build_chaos(
     )
 
 
+# ----------------------------------------------------------------------
+# campus — N cells, roamers handing off, co-channel coupling
+# ----------------------------------------------------------------------
+def campus_roam_times(
+    seconds: float, warmup_s: float, ordinal: int = 0
+) -> Tuple[float, float]:
+    """When roamer ``ordinal`` hands off: out at one third of the
+    measurement window, back at two thirds, staggered 50 ms per roamer
+    so simultaneous handoffs never mask each other."""
+    stagger = 0.05 * ordinal
+    out = warmup_s + seconds / 3.0 + stagger
+    back = warmup_s + 2.0 * seconds / 3.0 + stagger
+    return out, back
+
+
+def _build_campus(
+    scheduler: str = "tbr",
+    seed: int = 1,
+    seconds: float = 6.0,
+    warmup_s: float = 1.0,
+    n_cells: int = 2,
+    n_channels: int = 1,
+    locals_per_cell: int = 1,
+    n_roamers: int = 1,
+    local_rate: float = 11.0,
+    roamer_rate: float = 1.0,
+    assoc_delay_s: float = 0.05,
+) -> ScenarioSpec:
+    """An ESS: per-cell locals plus slow roamers handing off mid-run.
+
+    ``n_cells`` cells line a corridor; cell ``i`` sits on RF channel
+    ``(1, 6, 11)[i % n_channels]`` and neighbours cells ``i±1`` and
+    ``i±3`` — with the default ``n_channels=1`` every adjacent pair is
+    co-channel (coupled media), while ``n_channels=3`` reproduces the
+    classic 1/6/11 reuse plan where only the ``i±3`` neighbours
+    interfere.  Each cell holds ``locals_per_cell`` fast TCP uploaders;
+    roamer ``r`` starts in cell ``r % n_cells``, uploads at
+    ``roamer_rate`` (the slow rate — the anomaly the paper fixes), and
+    roams to the next cell at a third of the measurement window,
+    returning at two thirds, so both cells see the regulator
+    re-converge to 1/n_active twice.
+    """
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1, got {n_cells!r}")
+    if not 1 <= n_channels <= 3:
+        raise ValueError(
+            f"n_channels must be in 1..3 (the 1/6/11 plan), got "
+            f"{n_channels!r}"
+        )
+    if locals_per_cell < 0 or n_roamers < 0:
+        raise ValueError(
+            "locals_per_cell and n_roamers must be >= 0, got "
+            f"{locals_per_cell!r}/{n_roamers!r}"
+        )
+    if n_roamers > 0 and n_cells < 2:
+        raise ValueError(
+            f"{n_roamers} roamer(s) need >= 2 cells to roam between"
+        )
+    if assoc_delay_s < 0:
+        raise ValueError(
+            f"assoc_delay_s must be >= 0, got {assoc_delay_s!r}"
+        )
+    rf_plan = (1, 6, 11)[:n_channels]
+    cell_names = [f"c{i}" for i in range(n_cells)]
+    by_cell_stations: Dict[str, List[StationSpec]] = {
+        name: [] for name in cell_names
+    }
+    by_cell_flows: Dict[str, List[FlowSpec]] = {
+        name: [] for name in cell_names
+    }
+    for i, cell in enumerate(cell_names):
+        for j in range(locals_per_cell):
+            name = f"c{i}l{j + 1}"
+            by_cell_stations[cell].append(
+                StationSpec(name, rate_mbps=local_rate)
+            )
+            by_cell_flows[cell].append(
+                FlowSpec(station=name, kind="tcp", direction="up")
+            )
+    timeline: List[Any] = []
+    for r in range(n_roamers):
+        name = f"roam{r + 1}"
+        home = cell_names[r % n_cells]
+        away = cell_names[(r + 1) % n_cells]
+        by_cell_stations[home].append(
+            StationSpec(name, rate_mbps=roamer_rate)
+        )
+        by_cell_flows[home].append(
+            FlowSpec(station=name, kind="tcp", direction="up")
+        )
+        out, back = campus_roam_times(seconds, warmup_s, r)
+        if out < warmup_s + seconds:
+            timeline.append(
+                RoamEvent(
+                    at_s=out, station=name, from_cell=home,
+                    to_cell=away, delay_s=assoc_delay_s,
+                )
+            )
+        if back < warmup_s + seconds:
+            timeline.append(
+                RoamEvent(
+                    at_s=back, station=name, from_cell=away,
+                    to_cell=home, delay_s=assoc_delay_s,
+                )
+            )
+    adjacency: List[Tuple[str, str]] = []
+    for i in range(n_cells):
+        for span in (1, 3):
+            if i + span < n_cells:
+                adjacency.append((cell_names[i], cell_names[i + span]))
+    cells = tuple(
+        CellSpec(
+            name=cell,
+            channel=rf_plan[i % len(rf_plan)],
+            stations=tuple(by_cell_stations[cell]),
+            flows=tuple(by_cell_flows[cell]),
+        )
+        for i, cell in enumerate(cell_names)
+    )
+    return ScenarioSpec(
+        name="campus",
+        scheduler=scheduler,
+        stations=(),
+        flows=(),
+        timeline=tuple(timeline),
+        seconds=seconds,
+        warmup_seconds=warmup_s,
+        seed=seed,
+        campus=CampusSpec(cells=cells, adjacency=tuple(adjacency)),
+    )
+
+
 def _defaults_of(fn: Callable[..., ScenarioSpec]) -> Dict[str, Any]:
     import inspect
 
@@ -704,6 +842,12 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             "seeded soak mixing crash/outage/degrade/burst/rate events",
             _build_chaos,
             _defaults_of(_build_chaos),
+        ),
+        ScenarioFamily(
+            "campus",
+            "N cells, one kernel: roaming under co-channel coupling",
+            _build_campus,
+            _defaults_of(_build_campus),
         ),
     )
 }

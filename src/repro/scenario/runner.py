@@ -53,6 +53,18 @@ class ScenarioResult:
     #: stay stable).
     fast_forwards: int = 0
     fast_forwarded_s: float = 0.0
+    #: campus runs only (all default-empty so single-cell results —
+    #: including cached pickles from before the fields existed — are
+    #: untouched): end-of-run membership per cell, the cells' RF
+    #: channels, per-cell occupancy fractions, per-cell medium busy
+    #: fractions, and the number of roam events fired.
+    cell_members: Dict[str, Any] = field(default_factory=dict)
+    cell_channels: Dict[str, int] = field(default_factory=dict)
+    cell_occupancy: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
+    cell_busy_fraction: Dict[str, float] = field(default_factory=dict)
+    roams_fired: int = 0
 
     @property
     def total_mbps(self) -> float:
@@ -74,6 +86,10 @@ def run_spec(
     environment switch (``REPRO_SANITIZE`` / ``REPRO_FASTFWD``), which
     is how campaign worker processes inherit the settings.
     """
+    if spec.campus is not None:
+        return _run_campus_spec(
+            spec, sanitize=sanitize, fast_forward=fast_forward
+        )
     runtime = ScenarioRuntime(
         spec, sanitize=sanitize, fast_forward=fast_forward
     )
@@ -95,6 +111,56 @@ def run_spec(
         pool_leaked=runtime.pool_leaked(),
         fast_forwards=sim.fast_forwards,
         fast_forwarded_s=sim.fast_forwarded_us / 1e6,
+    )
+
+
+def _run_campus_spec(
+    spec: ScenarioSpec,
+    *,
+    sanitize: Optional[bool] = None,
+    fast_forward: Optional[bool] = None,
+) -> ScenarioResult:
+    """Campus leg of :func:`run_spec` (same contract, merged figures).
+
+    Station-keyed figures merge across cells — station names are
+    campus-unique, and a roamer's airtime in every cell it visited sums
+    under its one name — while the ``cell_*`` fields keep the per-cell
+    view.  A single-cell campus fills ``cell_members`` with one entry;
+    :func:`render_result` only appends the campus block for >= 2 cells,
+    which is what keeps the 1-cell differential render byte-identical.
+    """
+    from repro.campus.builder import CampusRuntime
+
+    runtime = CampusRuntime(
+        spec, sanitize=sanitize, fast_forward=fast_forward
+    )
+    sim = runtime.campus.sim
+    runtime.run()
+    campus = runtime.campus
+    return ScenarioResult(
+        name=spec.name,
+        seed=spec.seed,
+        scheduler=spec.scheduler,
+        seconds=spec.seconds,
+        warmup_seconds=spec.warmup_seconds,
+        throughput_mbps=campus.station_throughputs_mbps(),
+        flow_throughput_mbps=campus.throughputs_mbps(),
+        occupancy=campus.occupancy_fractions(),
+        final_rates_mbps=runtime.station_rates_mbps(),
+        timeline_fired=runtime.timeline_fired,
+        events_executed=sim.events_executed,
+        events_by_category=sim.events_by_category(),
+        pool_leaked=runtime.pool_leaked(),
+        fast_forwards=sim.fast_forwards,
+        fast_forwarded_s=sim.fast_forwarded_us / 1e6,
+        cell_members={
+            name: sorted(members)
+            for name, members in campus.cell_members().items()
+        },
+        cell_channels=dict(campus.channel_map),
+        cell_occupancy=campus.cell_occupancy_fractions(),
+        cell_busy_fraction=campus.cell_busy_fractions(),
+        roams_fired=runtime.roams_fired,
     )
 
 
@@ -201,8 +267,27 @@ def render_result(result: ScenarioResult) -> str:
         f"{key}={result.events_by_category.get(key, 0)}"
         for key in ("traffic", "mac", "phy", "timer", "other")
     )
-    return (
+    rendered = (
         f"{table}\n"
         f"timeline events fired: {result.timeline_fired}\n"
         f"kernel events: {result.events_executed} ({categories})"
     )
+    # The per-cell block appears only for a real (>= 2 cell) campus: a
+    # 1-cell campus must render byte-identical to the single-cell path
+    # (the differential equivalence contract).
+    if len(result.cell_members) >= 2:
+        lines = [f"campus: {len(result.cell_members)} cells, "
+                 f"{result.roams_fired} roams"]
+        for cell in result.cell_members:
+            members = ",".join(result.cell_members[cell]) or "-"
+            occupancy = result.cell_occupancy.get(cell, {})
+            occupied = " ".join(
+                f"{name}={occupancy[name]:.3f}"
+                for name in sorted(occupancy)
+            ) or "-"
+            lines.append(
+                f"  cell {cell} [ch {result.cell_channels.get(cell, '?')}]"
+                f" members={members} occupancy: {occupied}"
+            )
+        rendered += "\n" + "\n".join(lines)
+    return rendered

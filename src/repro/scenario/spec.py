@@ -234,6 +234,123 @@ class StationCrashEvent:
 
 
 @dataclass(frozen=True)
+class RoamEvent:
+    """The station hands off between cells at ``at_s`` (campus only).
+
+    Compiled as disassociate(``from_cell``) → ``delay_s`` of
+    association latency → associate(``to_cell``): the source cell tears
+    the station down through the ordinary leave path (queue flushed,
+    TBR bucket retired, MAC detached), and after the delay a fresh
+    station object associates in the destination — a new queue, one new
+    ``T_init`` grant under TBR, and the station's spec'd flows
+    restarted under ``@r<n>`` identities.  The landing is builder
+    machinery; only the roam itself counts toward ``timeline_fired``.
+    """
+
+    at_s: float
+    station: str
+    from_cell: str
+    to_cell: str
+    #: scan/authenticate/associate latency before the landing.
+    delay_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a campus: its RF channel and initial population."""
+
+    name: str
+    #: RF channel number (cells sharing one interfere when adjacent).
+    channel: int = 1
+    #: AP MAC address; ``None`` derives ``ap@<name>`` — except in a
+    #: single-cell campus, where it stays ``"ap"`` so the campus path
+    #: is byte-identical to the plain single-cell path.
+    ap_address: Optional[str] = None
+    stations: Tuple[StationSpec, ...] = ()
+    flows: Tuple[FlowSpec, ...] = ()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("cell name must be non-empty")
+        if self.channel < 1:
+            raise ValueError(
+                f"cell {self.name!r}: channel must be >= 1"
+            )
+        local: Dict[str, bool] = {}
+        for station in self.stations:
+            station.validate()
+            if station.name in local:
+                raise ValueError(
+                    f"cell {self.name!r}: duplicate station "
+                    f"{station.name!r}"
+                )
+            local[station.name] = True
+        for flow in self.flows:
+            flow.validate()
+            if flow.station not in local:
+                raise ValueError(
+                    f"cell {self.name!r}: flow references station "
+                    f"{flow.station!r} outside the cell"
+                )
+
+
+@dataclass(frozen=True)
+class CampusSpec:
+    """The ESS section of a :class:`ScenarioSpec`.
+
+    ``adjacency`` lists unordered cell-name pairs that are physically
+    close enough to interfere; a pair actually couples only when both
+    cells sit on the same RF ``channel``.
+    """
+
+    cells: Tuple[CellSpec, ...]
+    adjacency: Tuple[Tuple[str, str], ...] = ()
+
+    def validate(self) -> None:
+        if not self.cells:
+            raise ValueError("campus needs at least one cell")
+        names = set()
+        stations = set()
+        for cell in self.cells:
+            cell.validate()
+            if cell.name in names:
+                raise ValueError(f"duplicate cell name {cell.name!r}")
+            names.add(cell.name)
+            for station in cell.stations:
+                if station.name in stations:
+                    raise ValueError(
+                        f"station {station.name!r} appears in more "
+                        "than one cell"
+                    )
+                stations.add(station.name)
+        ap_addresses = set()
+        for cell in self.cells:
+            if cell.ap_address is None:
+                continue
+            if cell.ap_address in ap_addresses:
+                raise ValueError(
+                    f"duplicate AP address {cell.ap_address!r}"
+                )
+            ap_addresses.add(cell.ap_address)
+        seen_pairs = set()
+        for pair in self.adjacency:
+            if len(pair) != 2:
+                raise ValueError(f"adjacency entry {pair!r} is not a pair")
+            a, b = pair
+            if a == b:
+                raise ValueError(f"cell {a!r} cannot neighbour itself")
+            for name in (a, b):
+                if name not in names:
+                    raise ValueError(
+                        f"adjacency references unknown cell {name!r}"
+                    )
+            key = (a, b) if a <= b else (b, a)
+            if key in seen_pairs:
+                raise ValueError(f"duplicate adjacency pair {key!r}")
+            seen_pairs.add(key)
+
+
+@dataclass(frozen=True)
 class ReaperSpec:
     """AP-side inactivity reaper knobs (attach to ``ScenarioSpec``).
 
@@ -284,7 +401,20 @@ TimelineEvent = Union[
     ChannelDegradeEvent,
     ApOutageEvent,
     StationCrashEvent,
+    RoamEvent,
 ]
+
+#: Event kinds a campus timeline may carry.  Joins, outages, crashes
+#: and degrades are single-cell semantics the ESS layer does not define
+#: yet — validation rejects them rather than guessing.
+CAMPUS_EVENTS = (
+    RoamEvent,
+    LeaveEvent,
+    RejoinEvent,
+    RateSwitchEvent,
+    TrafficOffEvent,
+    TrafficOnEvent,
+)
 
 
 @dataclass(frozen=True, eq=False)
@@ -310,6 +440,10 @@ class ScenarioSpec:
     #: AP-side inactivity reaper; ``None`` (the default) disables it,
     #: so specs without crash events behave exactly as before.
     reaper: Optional[ReaperSpec] = None
+    #: ESS section: when set, the spec describes N cells on one shared
+    #: kernel (stations and flows live inside ``campus.cells``, and the
+    #: top-level ``stations``/``flows`` must stay empty).
+    campus: Optional[CampusSpec] = None
 
     # ------------------------------------------------------------------
     # content identity
@@ -365,6 +499,9 @@ class ScenarioSpec:
             raise ValueError("warmup_seconds must be >= 0")
         if self.reaper is not None:
             self.reaper.validate()
+        if self.campus is not None:
+            self._validate_campus()
+            return
 
         present: Dict[str, bool] = {}  # name -> still active
         for station in self.stations:
@@ -508,6 +645,110 @@ class ScenarioSpec:
                     present[event.station] = False
                     crashed.add(event.station)
                 elif isinstance(event, RateSwitchEvent):
+                    if event.rate_mbps <= 0:
+                        raise ValueError("rate switch needs a positive rate")
+                    if (
+                        event.downlink_rate_mbps is not None
+                        and event.downlink_rate_mbps <= 0
+                    ):
+                        raise ValueError(
+                            "rate switch needs a positive downlink rate"
+                        )
+
+    def _validate_campus(self) -> None:
+        """Campus-mode consistency: cell shapes, event kinds, and roam
+        causality (a station roams *from* the cell it is actually in,
+        and nothing touches it while it is between cells)."""
+        campus = self.campus
+        assert campus is not None
+        campus.validate()
+        if self.stations or self.flows:
+            raise ValueError(
+                "campus specs keep stations and flows inside "
+                "campus.cells; the top-level tuples must be empty"
+            )
+        if self.reaper is not None:
+            raise ValueError(
+                "campus specs do not support the AP-side reaper yet"
+            )
+
+        cells = {cell.name for cell in campus.cells}
+        #: station -> current cell (None while departed).
+        member: Dict[str, Optional[str]] = {}
+        #: station -> last cell (for rejoin).
+        last_cell: Dict[str, str] = {}
+        for cell in campus.cells:
+            for station in cell.stations:
+                member[station.name] = cell.name
+                last_cell[station.name] = cell.name
+        #: station -> end of its current in-flight roam window.
+        in_flight: Dict[str, float] = {}
+
+        for event in sorted(self.timeline, key=lambda e: e.at_s):
+            if event.at_s < 0:
+                raise ValueError("timeline event times must be >= 0")
+            if not isinstance(event, CAMPUS_EVENTS):
+                raise ValueError(
+                    f"timeline event {type(event).__name__} is not "
+                    "supported in campus mode"
+                )
+            name = event.station
+            if name not in member:
+                raise ValueError(
+                    f"timeline event at {event.at_s}s references "
+                    f"unknown station {name!r}"
+                )
+            landing = in_flight.get(name)
+            if landing is not None and event.at_s < landing:
+                raise ValueError(
+                    f"timeline event at {event.at_s}s: station "
+                    f"{name!r} is mid-roam until {landing}s"
+                )
+            if isinstance(event, RoamEvent):
+                if event.delay_s < 0:
+                    raise ValueError(
+                        f"roam at {event.at_s}s: delay_s must be >= 0"
+                    )
+                for cell_name in (event.from_cell, event.to_cell):
+                    if cell_name not in cells:
+                        raise ValueError(
+                            f"roam at {event.at_s}s references unknown "
+                            f"cell {cell_name!r}"
+                        )
+                if event.from_cell == event.to_cell:
+                    raise ValueError(
+                        f"roam at {event.at_s}s: from_cell and to_cell "
+                        "must differ"
+                    )
+                if member.get(name) != event.from_cell:
+                    raise ValueError(
+                        f"roam at {event.at_s}s: station {name!r} is in "
+                        f"{member.get(name)!r}, not {event.from_cell!r}"
+                    )
+                member[name] = event.to_cell
+                last_cell[name] = event.to_cell
+                in_flight[name] = event.at_s + event.delay_s
+            elif isinstance(event, LeaveEvent):
+                if member.get(name) is None:
+                    raise ValueError(
+                        f"leave at {event.at_s}s: station {name!r} "
+                        "already left"
+                    )
+                member[name] = None
+            elif isinstance(event, RejoinEvent):
+                if member.get(name) is not None:
+                    raise ValueError(
+                        f"rejoin at {event.at_s}s: station {name!r} "
+                        "never left"
+                    )
+                member[name] = last_cell[name]
+            else:
+                if member.get(name) is None:
+                    raise ValueError(
+                        f"timeline event at {event.at_s}s: station "
+                        f"{name!r} already left"
+                    )
+                if isinstance(event, RateSwitchEvent):
                     if event.rate_mbps <= 0:
                         raise ValueError("rate switch needs a positive rate")
                     if (

@@ -90,14 +90,20 @@ def live_pooled_packets(cell: Any) -> List[Any]:
     disowns it) may be: queued in the AP's downlink scheduler, loaded
     as the AP MAC's current frame, or riding an in-flight transmission
     on the channel.  Everything else must already be back in the pool.
+
+    Only packets owned by *this cell's* pool count: on a campus, a
+    coupled co-channel transmission appears in the neighbour's
+    ``channel.active`` too, and crediting that foreign packet here
+    would corrupt the neighbour's conservation arithmetic.
     """
     live = []
     seen = set()
+    own_pool = cell.ap.packet_pool
 
     def note(packet: Any) -> None:
         if packet is None or id(packet) in seen:
             return
-        if getattr(packet, "_pool", None) is not None:
+        if getattr(packet, "_pool", None) is own_pool:
             seen.add(id(packet))
             live.append(packet)
 

@@ -87,3 +87,59 @@ def test_budget_table_covers_every_category_key():
 
     for _, cats in PINNED_BUDGETS.values():
         assert set(cats) == set(EVENT_CATEGORIES)
+
+
+# ----------------------------------------------------------------------
+# campus (ESS) event budgets: coupling cost and roam counts are pinned
+# ----------------------------------------------------------------------
+#: (n_channels,) -> (timeline fired, roams, total, per-category).
+#: Both run the 2-cell campus family at 1.2 s with one roamer; with
+#: ``n_channels=1`` the pair is co-channel, so every frame charges one
+#: extra PHY event on the coupled neighbour (phy > mac — unique to
+#: coupled runs); with ``n_channels=3`` the adjacency is inert and the
+#: cells run at full independent throughput (phy < mac, more traffic).
+CAMPUS_PINNED_BUDGETS = {
+    1: (
+        2, 2, 3926,
+        {"traffic": 486, "mac": 1132, "phy": 2004, "timer": 300, "other": 4},
+    ),
+    3: (
+        2, 2, 7821,
+        {"traffic": 1430, "mac": 3190, "phy": 2897, "timer": 300, "other": 4},
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "n_channels", sorted(CAMPUS_PINNED_BUDGETS), ids=lambda n: f"ch{n}"
+)
+def test_campus_event_budget_is_pinned(n_channels):
+    from repro.scenario import build_spec, run_spec
+
+    fired, roams, total, cats = CAMPUS_PINNED_BUDGETS[n_channels]
+    result = run_spec(
+        build_spec(
+            "campus", seconds=1.2, warmup_s=0.3, n_channels=n_channels
+        )
+    )
+    measured = (
+        result.timeline_fired,
+        result.roams_fired,
+        result.events_executed,
+        result.events_by_category,
+    )
+    assert measured == (fired, roams, total, cats), (
+        "campus event budget shifted — if the change is intentional, "
+        f"update CAMPUS_PINNED_BUDGETS[{n_channels}] to {measured!r} "
+        "and justify the new volume in the PR description"
+    )
+
+
+def test_coupling_charges_phy_per_neighbour():
+    # The structural signature of the co-channel model: coupled media
+    # replay each frame as an extra PHY event on the neighbour, so
+    # only the coupled plan runs phy above mac.
+    _, _, _, coupled = CAMPUS_PINNED_BUDGETS[1]
+    _, _, _, separate = CAMPUS_PINNED_BUDGETS[3]
+    assert coupled["phy"] > coupled["mac"]
+    assert separate["phy"] < separate["mac"]

@@ -34,6 +34,7 @@ GOLDEN_PARAMS = {
     "mixed": dict(seconds=1.5, warmup_s=0.5),
     "fairness-churn": dict(seconds=2.4, warmup_s=0.5),
     "fairness-outage": dict(seconds=3.0, warmup_s=0.5, outage_s=0.5),
+    "campus": dict(seconds=2.5, warmup_s=0.5),
 }
 
 #: family -> (timeline fired, total events, per-category events).
@@ -64,6 +65,15 @@ PINNED_BUDGETS = {
     "fairness-outage": (
         1, 8092,
         {"traffic": 1530, "mac": 3258, "phy": 2946, "timer": 352, "other": 6},
+    ),
+    # Two co-channel cells, one roamer: the timeline fires two roams
+    # (out and back); each landing is builder machinery under ``other``
+    # but not in ``timeline_fired``; the coupled medium charges one
+    # extra PHY event per frame per co-channel neighbour, which is why
+    # ``phy`` runs well above ``mac`` here and nowhere else.
+    "campus": (
+        2, 8390,
+        {"traffic": 1033, "mac": 2433, "phy": 4318, "timer": 602, "other": 4},
     ),
 }
 
@@ -105,6 +115,7 @@ def test_timeline_families_actually_fire_events():
     assert fired["mobility"] >= 3  # rate switches
     assert fired["bursty"] >= 2  # off/on cycles
     assert fired["fairness-churn"] == 2  # one leave, one rejoin
+    assert fired["campus"] == 2  # roam out, roam back
 
 
 @pytest.mark.parametrize("family", sorted(GOLDEN_PARAMS))
@@ -133,6 +144,29 @@ def test_fairness_outage_recovers_everyone(family_results):
     assert len(restarted) == 4
     for name in restarted:
         assert result.flow_throughput_mbps[name] > 0.0, name
+
+
+def test_campus_golden_roams_out_and_back(family_results):
+    # Both timeline roams fired, the roamer ended back home, and its
+    # airtime is attributed by both cells (merged occupancy = the sum).
+    result = family_results["campus"]
+    assert result.roams_fired == 2
+    assert result.cell_members == {
+        "c0": ["c0l1", "roam1"], "c1": ["c1l1"],
+    }
+    assert result.cell_channels == {"c0": 1, "c1": 1}  # coupled pair
+    assert result.cell_occupancy["c0"]["roam1"] > 0.0
+    assert result.cell_occupancy["c1"]["roam1"] > 0.0
+    assert result.occupancy["roam1"] == pytest.approx(
+        result.cell_occupancy["c0"]["roam1"]
+        + result.cell_occupancy["c1"]["roam1"]
+    )
+    # Each landing restarted the roamer's flow under a fresh identity.
+    assert sorted(
+        name
+        for name in result.flow_throughput_mbps
+        if name.startswith("roam1")
+    ) == ["roam1/tcp-up", "roam1/tcp-up@r1", "roam1/tcp-up@r2"]
 
 
 def test_fairness_churn_tears_down_and_rejoins(family_results):
