@@ -9,9 +9,18 @@ deterministically by job key.  The building blocks:
 * :mod:`repro.campaign.cache` — on-disk result cache keyed by digest
   with checksummed entries, so re-running a campaign never recomputes a
   finished job and silent corruption reads as a miss, not a result;
+* :mod:`repro.campaign.store` — the cache promoted to a queryable
+  :class:`ResultStore`: a crash-safe on-disk index over (experiment,
+  family, seed, digest), incremental-sweep planning
+  (:meth:`ResultStore.plan`) and index rebuild from the raw entries;
 * :mod:`repro.campaign.executor` — serial and supervised-parallel
   execution with cache lookups, duplicate-config coalescing and
   completion-order-independent merging;
+* :mod:`repro.campaign.queue` — the :class:`WorkQueue` seam between
+  the executor and its workers: the in-process supervised pool, or a
+  filesystem spool that independent ``repro campaign worker``
+  processes drain cooperatively (atomic-rename job leases,
+  heartbeat-based crash reclaim);
 * :mod:`repro.campaign.pool` — the supervised worker pool: crash
   isolation, per-job timeouts, checksum-verified replies, degradation
   to serial when the pool itself keeps dying;
@@ -41,6 +50,18 @@ from repro.campaign.job import (
     thaw,
 )
 from repro.campaign.cache import CacheCorruption, ResultCache
+from repro.campaign.store import (
+    ResultStore,
+    StoreIndex,
+    SweepPlan,
+    default_store_root,
+)
+from repro.campaign.queue import (
+    PoolQueue,
+    SpoolQueue,
+    WorkQueue,
+    worker_loop,
+)
 from repro.campaign.executor import (
     CampaignOutcome,
     CampaignStats,
@@ -66,11 +87,19 @@ __all__ = [
     "FaultPlan",
     "Job",
     "JobFailure",
+    "PoolQueue",
     "ResultCache",
+    "ResultStore",
     "RetryPolicy",
     "RunManifest",
+    "SpoolQueue",
+    "StoreIndex",
+    "SweepPlan",
+    "WorkQueue",
     "campaign_digest",
+    "default_store_root",
     "execute_job",
+    "worker_loop",
     "freeze",
     "job_params",
     "make_job",

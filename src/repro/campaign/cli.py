@@ -8,7 +8,10 @@ Examples::
     python -m repro campaign --force              # ignore cached results
     python -m repro campaign --timeout 600        # kill hung jobs
     python -m repro campaign --resume             # finish an interrupted run
-    python -m repro campaign verify-cache         # integrity-check the cache
+    python -m repro campaign --missing-only       # plan, then run only misses
+    python -m repro campaign verify-cache         # integrity-check the store
+    python -m repro campaign query --family fig9  # index lookups, no unpickle
+    python -m repro campaign worker --spool-dir D # drain a shared spool
     python -m repro campaign --list               # selectable names
 
 Results are cached on disk keyed by each job's config digest, so a
@@ -28,20 +31,33 @@ are reported without burning their retry budget again).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.campaign.cache import ResultCache
 from repro.campaign.executor import quarantine_report, run_jobs
 from repro.campaign.faults import FaultPlanError
 from repro.campaign.job import Job
 from repro.campaign.manifest import RunManifest, campaign_digest
 from repro.campaign.policy import RetryPolicy
 from repro.campaign.registry import FIGURE_SUITE, campaign_registry
+from repro.campaign.store import (
+    DEFAULT_CACHE_DIRNAME,
+    ResultStore,
+    default_store_root,
+)
 
-#: Default on-disk cache location (repo root when run from a checkout).
-DEFAULT_CACHE_DIR = ".repro-cache/campaign"
+#: Legacy name for the store directory relative to the resolved root.
+#: The *actual* default is :func:`repro.campaign.store.default_store_root`
+#: — ``REPRO_CACHE_DIR`` or the repo root, never the bare CWD.
+DEFAULT_CACHE_DIR = DEFAULT_CACHE_DIRNAME
+
+#: argparse help text for every ``--cache-dir`` flag in the repo.
+CACHE_DIR_HELP = (
+    "result store directory (default: $REPRO_CACHE_DIR, else "
+    f"<repo root>/{DEFAULT_CACHE_DIRNAME})"
+)
 
 #: Exit code for an interrupted (^C) campaign, matching shell SIGINT.
 EXIT_INTERRUPTED = 130
@@ -52,26 +68,164 @@ def manifest_path(cache_dir, digest: str) -> Path:
     return Path(cache_dir) / "runs" / f"{digest[:16]}.json"
 
 
-def verify_cache_main(cache_dir: str, purge: bool) -> int:
-    """``repro campaign verify-cache``: integrity-check every entry."""
-    cache = ResultCache(cache_dir)
-    if cache.swept_tmp:
-        print(f"swept {cache.swept_tmp} stale temp file(s)")
-    total, bad = cache.verify_summary()
-    print(f"{total} entrie(s) under {cache.root}: {total - len(bad)} ok")
+def verify_cache_main(
+    cache_dir: Optional[str], purge: bool, reindex: bool = False
+) -> int:
+    """``repro campaign verify-cache``: payload and index integrity.
+
+    Payload verification is unchanged from the plain cache (checksums,
+    exit 1 on damage, ``--purge`` to drop).  On top of it the store's
+    index is cross-checked against the entries on disk: dangling rows
+    and unindexed entries are reported, and ``--reindex`` rebuilds the
+    index to exactly match the surviving entries (always run after a
+    purge, so the purge never leaves dangling rows behind).
+    """
+    store = ResultStore(
+        default_store_root() if cache_dir is None else cache_dir
+    )
+    if store.swept_tmp:
+        print(f"swept {store.swept_tmp} stale temp file(s)")
+    total, bad = store.verify_summary()
+    print(f"{total} entrie(s) under {store.root}: {total - len(bad)} ok")
     for digest, status, detail in bad:
         print(f"  {status:10} {digest[:16]}…  {detail}")
     if bad and purge:
         for digest, _, _ in bad:
             try:
-                cache.path_for(digest).unlink()
+                store.path_for(digest).unlink()
             except OSError:
                 pass
         print(f"purged {len(bad)} bad entrie(s)")
+    if store.index.corrupt_lines:
+        print(
+            f"index: skipped {store.index.corrupt_lines} corrupt "
+            "line(s) (torn append from a crashed writer)"
+        )
+    dangling, unindexed = store.verify_index()
+    if dangling or unindexed:
+        print(
+            f"index: {len(dangling)} dangling row(s), "
+            f"{len(unindexed)} unindexed entrie(s)"
+        )
+    else:
+        print("index: consistent with the entries on disk")
+    if reindex or (purge and bad):
+        entries, added, dropped = store.reindex()
+        print(
+            f"reindexed: {entries} entrie(s), {added} added, "
+            f"{dropped} dropped"
+        )
+    elif dangling or unindexed or store.index.corrupt_lines:
+        print("  (run verify-cache --reindex to rebuild the index)")
     return 1 if bad else 0
 
 
+def query_main(argv: List[str]) -> int:
+    """``repro campaign query``: index lookups, no payloads unpickled."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign query",
+        description=(
+            "Answer (experiment, family, seed, digest-prefix) lookups "
+            "from the result store's index without unpickling any "
+            "payloads."
+        ),
+    )
+    parser.add_argument("--cache-dir", default=None, help=CACHE_DIR_HELP)
+    parser.add_argument("--experiment", default=None)
+    parser.add_argument("--family", default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--digest", default=None, metavar="PREFIX",
+        help="match digests by prefix",
+    )
+    parser.add_argument(
+        "--stat", action="store_true",
+        help="include entry size and indexing state per row",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(
+        default_store_root() if args.cache_dir is None else args.cache_dir
+    )
+    rows = store.query(
+        experiment=args.experiment,
+        family=args.family,
+        seed=args.seed,
+        digest_prefix=args.digest,
+    )
+    for digest, meta in rows:
+        line = (
+            f"{digest[:16]}  {meta.get('experiment', '?'):12} "
+            f"family={meta.get('family', '?')} seed={meta.get('seed')} "
+            f"key={meta.get('key', '?')}"
+        )
+        if args.stat:
+            stat = store.stat(digest)
+            if stat is not None:
+                line += f"  {stat['size_bytes']} bytes"
+        print(line)
+    print(f"{len(rows)} entrie(s) under {store.root}")
+    return 0
+
+
+def worker_main(argv: List[str]) -> int:
+    """``repro campaign worker``: drain a shared filesystem spool."""
+    from repro.campaign.queue import worker_loop
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign worker",
+        description=(
+            "Claim and execute jobs from a filesystem spool until it "
+            "stays drained.  Any number of workers — started by hand, "
+            "by CI, or on other hosts sharing the directory — can "
+            "drain one campaign; leases, retries and quarantine follow "
+            "the policy the enqueuer froze into the spool."
+        ),
+    )
+    parser.add_argument(
+        "--spool-dir", required=True, metavar="DIR",
+        help="spool directory shared with the enqueuing campaign",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=10.0, metavar="S",
+        help="exit after the spool has stayed drained (or absent) this "
+        "long (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after processing N claims (mainly for tests)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-claim progress"
+    )
+    args = parser.parse_args(argv)
+    if args.idle_exit <= 0:
+        parser.error("--idle-exit must be positive")
+    if args.max_jobs is not None and args.max_jobs < 1:
+        parser.error("--max-jobs must be >= 1")
+
+    def progress(status: str, _detail: str) -> None:
+        if not args.quiet:
+            print(f"  [{status}]", flush=True)
+
+    processed = worker_loop(
+        args.spool_dir,
+        idle_exit_s=args.idle_exit,
+        max_jobs=args.max_jobs,
+        progress=progress,
+    )
+    print(f"worker pid {os.getpid()}: processed {processed} claim(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # Store/queue service commands have their own flag sets; hand over
+    # before the campaign parser rejects them (same pattern as the
+    # top-level CLI's subsystem routing).
+    if argv and argv[0] == "query":
+        return query_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign",
         description=(
@@ -87,7 +241,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "experiments to run (default: every figure and table; "
             "see --list for all names including abl-* ablations), or "
-            "the special command 'verify-cache'"
+            "a special command: 'verify-cache', 'query', 'worker'"
         ),
     )
     parser.add_argument(
@@ -102,9 +256,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
+        default=None,
         metavar="DIR",
-        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        help=CACHE_DIR_HELP,
     )
     parser.add_argument(
         "--no-cache",
@@ -147,10 +301,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments still render)",
     )
     parser.add_argument(
+        "--missing-only",
+        action="store_true",
+        help="plan against the store first, report cached/missing "
+        "counts, execute only the missing jobs and skip the renders "
+        "(fill-the-store mode for incremental sweeps)",
+    )
+    parser.add_argument(
+        "--queue",
+        choices=("pool", "spool"),
+        default="pool",
+        help="scheduling backend: the in-process supervised pool "
+        "(default) or a filesystem spool shared with independent "
+        "'repro campaign worker' processes",
+    )
+    parser.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="spool directory for --queue spool",
+    )
+    parser.add_argument(
+        "--spool-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local worker processes the spool coordinator spawns "
+        "(default: --jobs; 0 = rely entirely on external workers)",
+    )
+    parser.add_argument(
         "--purge",
         action="store_true",
         help="with verify-cache: delete the entries that fail "
         "verification",
+    )
+    parser.add_argument(
+        "--reindex",
+        action="store_true",
+        help="with verify-cache: rebuild the store index from the "
+        "entries on disk",
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
@@ -180,7 +369,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiments and args.experiments[0] == "verify-cache":
         if len(args.experiments) > 1:
             parser.error("verify-cache takes no experiment names")
-        return verify_cache_main(args.cache_dir, args.purge)
+        return verify_cache_main(args.cache_dir, args.purge, args.reindex)
+    if args.queue == "spool" and args.spool_dir is None:
+        parser.error("--queue spool needs --spool-dir")
+    if args.spool_workers is not None and args.spool_workers < 0:
+        parser.error("--spool-workers must be >= 0")
 
     registry = campaign_registry()
     if args.list:
@@ -204,14 +397,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             registry[name].build_jobs(seed=args.seed, seconds=args.seconds)
         )
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = (
+        None
+        if args.no_cache
+        else ResultStore(
+            default_store_root()
+            if args.cache_dir is None
+            else args.cache_dir
+        )
+    )
     manifest = None
     skip_failed = None
     if cache is not None:
         digest = campaign_digest(job.digest for job in jobs)
-        manifest = RunManifest.load(
-            manifest_path(args.cache_dir, digest), digest
-        )
+        manifest = RunManifest.load(manifest_path(cache.root, digest), digest)
         if args.resume:
             skip_failed = set(manifest.failed)
         else:
@@ -222,11 +421,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--resume needs the cache; drop --no-cache", file=sys.stderr)
         return 2
 
+    if args.missing_only:
+        if cache is None:
+            print(
+                "--missing-only needs the store; drop --no-cache",
+                file=sys.stderr,
+            )
+            return 2
+        plan = cache.plan(jobs)
+        print(plan.summary())
+        if not plan.missing:
+            print("nothing to execute — the store already has every job")
+            return 0
+        jobs = plan.missing
+
     retry = (
         RetryPolicy(max_attempts=args.retries)
         if args.retries is not None
         else None
     )
+
+    queue = None
+    if args.queue == "spool":
+        from repro.campaign.queue import SpoolQueue
+
+        if cache is None:
+            print(
+                "--queue spool needs the shared store; drop --no-cache",
+                file=sys.stderr,
+            )
+            return 2
+        spool_workers = (
+            args.spool_workers
+            if args.spool_workers is not None
+            else (args.jobs if args.jobs is not None else 1)
+        )
+        queue = SpoolQueue(args.spool_dir, cache, workers=spool_workers)
 
     def progress(event: str, job: Job, done: int, total: int) -> None:
         if not args.quiet:
@@ -243,6 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout_s=args.timeout,
             manifest=manifest,
             skip_failed=skip_failed,
+            queue=queue,
         )
     except FaultPlanError as exc:
         # A malformed REPRO_CAMPAIGN_FAULTS plan is a usage error — name
@@ -254,6 +485,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     incomplete = failed_experiments | (
         set(selected) if outcome.stats.interrupted else set()
     )
+    if args.missing_only:
+        # Fill-the-store mode: the cached majority was deliberately not
+        # loaded, so experiment renders would be incomplete — report
+        # execution stats only.
+        selected = []
     for name in selected:
         if name in incomplete:
             why = (

@@ -203,7 +203,13 @@ class _Run:
         self.stats.executed += 1
         self.done += 1
         if self.cache is not None:
-            self.cache.put(digest, value)
+            # A ResultStore keeps a queryable index next to the payload;
+            # duck-typed so a plain ResultCache still works unchanged.
+            put_for_job = getattr(self.cache, "put_for_job", None)
+            if put_for_job is not None:
+                put_for_job(self.by_digest[digest][0], value)
+            else:
+                self.cache.put(digest, value)
         if self.manifest is not None:
             self.manifest.record_done(
                 digest, self.attempts_used.get(digest, 0) + 1
@@ -292,6 +298,31 @@ def _run_serial(
                 break
 
 
+def _drain_queue(
+    run: _Run,
+    pending: List[Tuple[str, Job]],
+    queue,
+    *,
+    retry: RetryPolicy,
+    timeout_s: Optional[float],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Drain ``pending`` through a :class:`~repro.campaign.queue.\
+WorkQueue` backend, degrading to serial if the backend gives up."""
+    degraded_reason, remaining = queue.drain(
+        pending,
+        retry=retry,
+        timeout_s=timeout_s,
+        fault_plan=fault_plan,
+        on_result=run.finish,
+        on_retry=lambda digest, job, record: run.retried(digest, record),
+        on_failure=lambda digest, job, failure: run.quarantine(failure),
+    )
+    if degraded_reason is not None:
+        run.stats.degraded_reason = degraded_reason
+        _run_serial(run, remaining, retry)
+
+
 def _run_supervised(
     run: _Run,
     pending: List[Tuple[str, Job]],
@@ -302,21 +333,16 @@ def _run_supervised(
     fault_plan: Optional[FaultPlan],
 ) -> None:
     """Supervised pool execution, degrading to serial on pool failure."""
-    from repro.campaign.pool import SupervisedPool
+    from repro.campaign.queue import PoolQueue
 
-    pool = SupervisedPool(
-        workers=workers,
+    _drain_queue(
+        run,
+        pending,
+        PoolQueue(workers=workers),
         retry=retry,
         timeout_s=timeout_s,
         fault_plan=fault_plan,
-        on_result=run.finish,
-        on_retry=lambda digest, job, record: run.retried(digest, record),
-        on_failure=lambda digest, job, failure: run.quarantine(failure),
     )
-    degraded_reason, remaining = pool.run(pending)
-    if degraded_reason is not None:
-        run.stats.degraded_reason = degraded_reason
-        _run_serial(run, remaining, retry)
 
 
 def run_jobs(
@@ -331,6 +357,7 @@ def run_jobs(
     fault_plan: Optional[FaultPlan] = None,
     manifest: Optional[RunManifest] = None,
     skip_failed: Optional[Set[str]] = None,
+    queue=None,
 ) -> CampaignOutcome:
     """Execute a campaign and merge results deterministically.
 
@@ -344,6 +371,11 @@ def run_jobs(
     is updated after every completion or quarantine so a later run can
     resume.  ``fault_plan`` injects worker failures for the chaos suite
     (default: the ``REPRO_CAMPAIGN_FAULTS`` environment hook).
+    ``queue`` overrides the scheduling backend with any
+    :class:`~repro.campaign.queue.WorkQueue` (e.g. a
+    :class:`~repro.campaign.queue.SpoolQueue` shared with independent
+    worker processes); by default ``workers > 1`` drains through the
+    supervised pool and ``workers == 1`` runs serially in-process.
 
     Raises if two jobs share an ``(experiment, key)`` identity — the
     reduce step could not tell their results apart.  A
@@ -410,7 +442,16 @@ def run_jobs(
     ]
 
     try:
-        if pending and workers > 1:
+        if pending and queue is not None:
+            _drain_queue(
+                run,
+                pending,
+                queue,
+                retry=retry,
+                timeout_s=timeout_s,
+                fault_plan=fault_plan,
+            )
+        elif pending and workers > 1:
             _run_supervised(
                 run,
                 pending,

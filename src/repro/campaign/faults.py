@@ -180,6 +180,19 @@ class FaultPlan:
 # ----------------------------------------------------------------------
 # reference executors for the chaos suite
 # ----------------------------------------------------------------------
+def echo(params):
+    """Cheap deterministic job executor for queue/store tests: returns
+    its own params (optionally sleeping ``sleep_s`` first, so lease and
+    timeout machinery has something to race).  Address it as
+    ``"repro.campaign.faults:echo"``."""
+    import time as _time
+
+    sleep_s = params.get("sleep_s", 0.0)
+    if sleep_s:
+        _time.sleep(sleep_s)
+    return {"echo": params.get("value"), "params": dict(params)}
+
+
 def unpicklable_result(params):
     """Job executor that *succeeds* but returns something no pickle can
     carry across the worker pipe — the supervisor must book it as an

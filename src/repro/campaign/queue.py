@@ -1,0 +1,897 @@
+"""Pluggable work queues: the scheduling layer of the campaign stack.
+
+The executor used to be welded to one backend — the in-process
+:class:`~repro.campaign.pool.SupervisedPool`.  This module puts a thin
+:class:`WorkQueue` interface in front of scheduling and provides two
+backends with identical failure semantics (same
+:class:`~repro.campaign.policy.RetryPolicy` backoff schedule, same
+permanent/transient taxonomy, same quarantine records, same
+:class:`~repro.campaign.faults.FaultPlan` injection inside worker
+processes):
+
+* :class:`PoolQueue` — the existing supervised pool, unchanged: one
+  coordinating process, long-lived worker children on pipes;
+* :class:`SpoolQueue` — a **filesystem spool**: jobs are pickled
+  envelopes in a shared directory, claimed by atomic ``os.rename`` (the
+  rename either succeeds for exactly one claimant or raises — no locks,
+  works over a shared filesystem), executed by any number of
+  *independent* worker processes (``repro campaign worker``) that write
+  results straight into the shared
+  :class:`~repro.campaign.store.ResultStore`.
+
+Spool liveness is lease-based: a claim is accompanied by a heartbeat
+file the owner touches while working.  A worker that dies — SIGKILL,
+OOM, power loss — stops heartbeating, and after ``lease_s`` any other
+participant *reclaims* the job: the lost lease costs one ``crash``
+attempt under the shared retry policy, exactly like a pool worker
+death.  Retry state (the per-digest attempt log) and quarantine records
+(``failed/<digest>.json``) live in the spool directory itself, so
+policy is enforced identically no matter which process picks the job up
+next; the enqueuer freezes the policy into ``policy.json`` so every
+worker applies the same backoff schedule and fault plan.
+
+Spool layout, under one root directory::
+
+    policy.json            frozen RetryPolicy/timeout/fault plan/store
+    jobs/<digest>.job      ready envelopes (pickle: digest, Job, ready_at)
+    claims/<digest>.job    leased envelopes (atomic rename from jobs/)
+    claims/<digest>.hb     heartbeat (mtime = lease freshness)
+    attempts/<digest>.jsonl  one line per failed attempt
+    failed/<digest>.json   quarantine record (attempts exhausted)
+
+Results never pass through the spool: workers write them to the result
+store (checksummed, atomic), and the coordinator detects completion by
+digest presence — which also makes enqueue/execute idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign import faults as faults_mod
+from repro.campaign.faults import FaultPlan
+from repro.campaign.job import Job
+from repro.campaign.manifest import _failure_from_dict, _failure_to_dict
+from repro.campaign.policy import (
+    AttemptRecord,
+    JobFailure,
+    RetryPolicy,
+    is_permanent,
+)
+from repro.campaign.store import ResultStore, job_meta
+
+OnResult = Callable[[str, Any], None]
+OnRetry = Callable[[str, Job, AttemptRecord], None]
+OnFailure = Callable[[str, Job, JobFailure], None]
+
+SPOOL_VERSION = 1
+CONFIG_NAME = "policy.json"
+
+#: Default lease: how long a claim may go without a heartbeat before
+#: any participant may reclaim it as a crashed attempt.
+DEFAULT_LEASE_S = 30.0
+
+#: Coordinator/worker poll interval when nothing is ready.
+DEFAULT_POLL_S = 0.05
+
+
+class WorkQueue:
+    """Interface the executor drains pending work through.
+
+    ``drain(items, ...)`` runs every ``(digest, job)`` item to a
+    terminal state — ``on_result`` / ``on_failure`` exactly once per
+    digest, ``on_retry`` per rescheduled attempt — and returns
+    ``(degraded_reason, remaining)``: ``(None, [])`` on normal
+    completion, or a reason string plus the deterministically-ordered
+    unresolved items when the backend gave up and the caller should
+    fall back to serial in-process execution.
+    """
+
+    backend = "abstract"
+
+    def drain(
+        self,
+        items: List[Tuple[str, Job]],
+        *,
+        retry: RetryPolicy,
+        timeout_s: Optional[float],
+        fault_plan: Optional[FaultPlan],
+        on_result: OnResult,
+        on_retry: OnRetry,
+        on_failure: OnFailure,
+    ) -> Tuple[Optional[str], List[Tuple[str, Job]]]:
+        raise NotImplementedError
+
+
+class PoolQueue(WorkQueue):
+    """The supervised in-process pool behind the queue interface."""
+
+    backend = "pool"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("PoolQueue needs >= 2 workers")
+        self.workers = workers
+
+    def drain(
+        self,
+        items: List[Tuple[str, Job]],
+        *,
+        retry: RetryPolicy,
+        timeout_s: Optional[float],
+        fault_plan: Optional[FaultPlan],
+        on_result: OnResult,
+        on_retry: OnRetry,
+        on_failure: OnFailure,
+    ) -> Tuple[Optional[str], List[Tuple[str, Job]]]:
+        from repro.campaign.pool import SupervisedPool
+
+        pool = SupervisedPool(
+            workers=self.workers,
+            retry=retry,
+            timeout_s=timeout_s,
+            fault_plan=fault_plan,
+            on_result=on_result,
+            on_retry=on_retry,
+            on_failure=on_failure,
+        )
+        return pool.run(list(items))
+
+
+# ----------------------------------------------------------------------
+# spool protocol: shared by SpoolQueue and standalone workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpoolConfig:
+    """The policy every spool participant must apply identically."""
+
+    store_root: str
+    retry: RetryPolicy
+    timeout_s: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
+    lease_s: float = DEFAULT_LEASE_S
+
+
+def _dirs(root: Path) -> Dict[str, Path]:
+    return {
+        name: root / name for name in ("jobs", "claims", "failed", "attempts")
+    }
+
+
+def init_spool(root) -> Path:
+    root = Path(root)
+    for path in _dirs(root).values():
+        path.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def save_config(root, cfg: SpoolConfig) -> None:
+    root = init_spool(root)
+    payload = {
+        "version": SPOOL_VERSION,
+        "store_root": cfg.store_root,
+        "retry": {
+            "max_attempts": cfg.retry.max_attempts,
+            "backoff_base_s": cfg.retry.backoff_base_s,
+            "backoff_factor": cfg.retry.backoff_factor,
+            "jitter_frac": cfg.retry.jitter_frac,
+            "seed": cfg.retry.seed,
+        },
+        "timeout_s": cfg.timeout_s,
+        "lease_s": cfg.lease_s,
+        "fault_plan": (
+            None
+            if cfg.fault_plan is None
+            else json.loads(cfg.fault_plan.to_json())
+        ),
+    }
+    _atomic_write(
+        root / CONFIG_NAME,
+        (json.dumps(payload, indent=0, sort_keys=True) + "\n").encode(),
+    )
+
+
+def load_config(root) -> Optional[SpoolConfig]:
+    """The spool's frozen policy, or ``None`` before the first enqueue."""
+    try:
+        data = json.loads((Path(root) / CONFIG_NAME).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("version") != SPOOL_VERSION:
+        return None
+    plan = data.get("fault_plan")
+    return SpoolConfig(
+        store_root=str(data["store_root"]),
+        retry=RetryPolicy(**data.get("retry", {})),
+        timeout_s=data.get("timeout_s"),
+        fault_plan=None if plan is None else FaultPlan.from_json(
+            json.dumps(plan)
+        ),
+        lease_s=float(data.get("lease_s", DEFAULT_LEASE_S)),
+    )
+
+
+def _write_envelope(
+    path: Path, digest: str, job: Job, ready_at: float
+) -> None:
+    _atomic_write(
+        path,
+        pickle.dumps(
+            {"digest": digest, "job": job, "ready_at": ready_at},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ),
+    )
+
+
+def _read_envelope(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        data = pickle.loads(path.read_bytes())
+    except Exception:
+        return None
+    if not isinstance(data, dict) or "digest" not in data:
+        return None
+    return data
+
+
+def spool_drained(root) -> bool:
+    """No job is queued or leased (backoff-delayed jobs still count)."""
+    dirs = _dirs(Path(root))
+    return not any(dirs["jobs"].glob("*.job")) and not any(
+        dirs["claims"].glob("*.job")
+    )
+
+
+def enqueue(root, cfg: SpoolConfig, items: List[Tuple[str, Job]]) -> int:
+    """Write ``items`` into the spool, resetting their retry state.
+
+    Re-enqueueing a digest clears its attempt log and any quarantine
+    record (a fresh campaign re-attempts failed digests, matching
+    ``run_jobs`` without ``--resume``) and sweeps an expired stale
+    claim left by a dead participant of an earlier run.
+    """
+    root = init_spool(root)
+    save_config(root, cfg)
+    dirs = _dirs(root)
+    now = time.time()
+    queued = 0
+    for digest, job in items:
+        for stale in (
+            dirs["failed"] / f"{digest}.json",
+            dirs["attempts"] / f"{digest}.jsonl",
+        ):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        claim = dirs["claims"] / f"{digest}.job"
+        try:
+            if now - claim.stat().st_mtime > cfg.lease_s:
+                hb = claim.with_suffix(".hb")
+                if not hb.exists() or now - hb.stat().st_mtime > cfg.lease_s:
+                    claim.unlink()
+                    try:
+                        hb.unlink()
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+        _write_envelope(dirs["jobs"] / f"{digest}.job", digest, job, 0.0)
+        queued += 1
+    return queued
+
+
+# ----------------------------------------------------------------------
+# attempt log + quarantine records
+# ----------------------------------------------------------------------
+def _attempt_lines(root: Path, digest: str) -> List[Dict[str, Any]]:
+    path = _dirs(root)["attempts"] / f"{digest}.jsonl"
+    try:
+        text = path.read_text()
+    except OSError:
+        return []
+    lines = []
+    for line in text.splitlines():
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(data, dict):
+            lines.append(data)
+    return lines
+
+
+def _append_attempt(root: Path, digest: str, line: Dict[str, Any]) -> None:
+    path = _dirs(root)["attempts"] / f"{digest}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # One O_APPEND write per line: concurrent workers interleave at
+    # line granularity.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+        fh.flush()
+
+
+def _record_from_line(line: Dict[str, Any]) -> AttemptRecord:
+    return AttemptRecord(
+        attempt=int(line.get("attempt", 0)),
+        kind=str(line.get("kind", "crash")),
+        detail=str(line.get("detail", "")),
+        worker_pid=line.get("worker_pid"),
+        backoff_s=line.get("backoff_s"),
+    )
+
+
+def _release(claim_path: Path) -> None:
+    for path in (claim_path, claim_path.with_suffix(".hb")):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _fail_attempt(
+    root: Path,
+    cfg: SpoolConfig,
+    digest: str,
+    job: Job,
+    attempt: int,
+    *,
+    kind: str,
+    detail: str,
+    pid: Optional[int],
+    claim_path: Path,
+    exc_type: Optional[str] = None,
+    tb: str = "",
+) -> str:
+    """Book one failed attempt: requeue with backoff, or quarantine.
+
+    The attempt line lands in the shared log *before* the claim is
+    released, so a crash inside this function can at worst inflate the
+    attempt count by one reclaim — never lose the failure.  Returns
+    ``"requeued"`` or ``"failed"``.
+    """
+    record = AttemptRecord(
+        attempt=attempt, kind=kind, detail=detail, worker_pid=pid
+    )
+    permanent = is_permanent(kind, exc_type)
+    requeue = not permanent and attempt < cfg.retry.max_attempts
+    if requeue:
+        record.backoff_s = cfg.retry.backoff_s(digest, attempt)
+    _append_attempt(
+        root,
+        digest,
+        {
+            "attempt": record.attempt,
+            "kind": record.kind,
+            "detail": record.detail,
+            "worker_pid": record.worker_pid,
+            "backoff_s": record.backoff_s,
+            "requeued": requeue,
+            "traceback": tb,
+        },
+    )
+    if requeue:
+        _write_envelope(
+            _dirs(root)["jobs"] / f"{digest}.job",
+            digest,
+            job,
+            time.time() + (record.backoff_s or 0.0),
+        )
+        _release(claim_path)
+        return "requeued"
+    lines = _attempt_lines(root, digest)
+    tracebacks = [l.get("traceback", "") for l in lines if l.get("traceback")]
+    failure = JobFailure(
+        digest=digest,
+        experiment=job.experiment,
+        key=job.key,
+        label=job.label,
+        attempts=[_record_from_line(l) for l in lines],
+        traceback=tracebacks[-1] if tracebacks else tb,
+        permanent=permanent,
+    )
+    _atomic_write(
+        _dirs(root)["failed"] / f"{digest}.json",
+        (json.dumps(_failure_to_dict(failure), sort_keys=True) + "\n").encode(),
+    )
+    _release(claim_path)
+    return "failed"
+
+
+def load_failure(root, digest: str) -> Optional[JobFailure]:
+    path = _dirs(Path(root))["failed"] / f"{digest}.json"
+    try:
+        return _failure_from_dict(json.loads(path.read_text()))
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# claiming and leases
+# ----------------------------------------------------------------------
+def claim_next(
+    root: Path, now: Optional[float] = None
+) -> Tuple[str, Optional[str], Optional[Job], Optional[Path]]:
+    """Try to lease one ready job by atomic rename.
+
+    Returns ``(status, digest, job, claim_path)`` with status
+    ``"claimed"`` (lease acquired), ``"wait"`` (work exists but is
+    backoff-delayed or leased elsewhere) or ``"empty"`` (spool
+    drained).  Digest order makes concurrent workers start from the
+    same end of the queue; the rename race resolves who wins.
+    """
+    now = time.time() if now is None else now
+    dirs = _dirs(root)
+    entries = sorted(dirs["jobs"].glob("*.job"))
+    saw_pending = bool(entries) or any(dirs["claims"].glob("*.job"))
+    for path in entries:
+        env = _read_envelope(path)
+        if env is None:
+            continue
+        if float(env.get("ready_at", 0.0)) > now:
+            continue
+        claim_path = dirs["claims"] / path.name
+        try:
+            os.rename(path, claim_path)
+        except OSError:
+            continue  # lost the race to another claimant
+        return "claimed", env["digest"], env["job"], claim_path
+    return ("wait" if saw_pending else "empty"), None, None, None
+
+
+class _Lease(threading.Thread):
+    """Heartbeat for one claim, plus the job's wall-clock deadline.
+
+    Touches the heartbeat file so other participants see the lease as
+    live; if the spool policy has a ``timeout_s`` and the job overruns
+    it, the lease books a ``timeout`` attempt (requeue or quarantine —
+    same decision the pool supervisor would make) and hard-exits the
+    wedged worker process, which is the only way to stop a hung
+    simulation without an external killer.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        cfg: SpoolConfig,
+        digest: str,
+        job: Job,
+        attempt: int,
+        claim_path: Path,
+    ) -> None:
+        super().__init__(daemon=True, name=f"spool-lease-{digest[:8]}")
+        self.root = root
+        self.cfg = cfg
+        self.digest = digest
+        self.job = job
+        self.attempt = attempt
+        self.claim_path = claim_path
+        self.hb_path = claim_path.with_suffix(".hb")
+        self.interval = max(0.05, min(cfg.lease_s / 4.0, 2.0))
+        self.stop_event = threading.Event()
+        self.started_at = time.monotonic()
+        self.hb_path.write_text(
+            json.dumps({"pid": os.getpid(), "attempt": attempt})
+        )
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            try:
+                os.utime(self.hb_path)
+            except OSError:
+                pass
+            timeout_s = self.cfg.timeout_s
+            if (
+                timeout_s is not None
+                and time.monotonic() - self.started_at > timeout_s
+            ):
+                try:
+                    if self.claim_path.exists():
+                        _fail_attempt(
+                            self.root,
+                            self.cfg,
+                            self.digest,
+                            self.job,
+                            self.attempt,
+                            kind="timeout",
+                            detail=(
+                                f"exceeded {timeout_s:g}s wall clock; "
+                                f"worker pid {os.getpid()} self-terminated"
+                            ),
+                            pid=os.getpid(),
+                            claim_path=self.claim_path,
+                        )
+                finally:
+                    # A hung simulation cannot be interrupted from a
+                    # thread; exiting the process is the kill.
+                    os._exit(124)
+
+    def release(self) -> None:
+        self.stop_event.set()
+        self.join(timeout=1.0)
+
+
+def reclaim_expired(root, cfg: SpoolConfig) -> int:
+    """Requeue (or quarantine) claims whose heartbeat went stale.
+
+    Reclaim itself is claim-by-rename too, so concurrent reclaimers
+    cannot double-book the crashed attempt.
+    """
+    root = Path(root)
+    dirs = _dirs(root)
+    now = time.time()
+    reclaimed = 0
+    for claim in sorted(dirs["claims"].glob("*.job")):
+        hb = claim.with_suffix(".hb")
+        try:
+            ref = hb.stat().st_mtime
+        except OSError:
+            try:
+                ref = claim.stat().st_mtime
+            except OSError:
+                continue
+        if now - ref <= cfg.lease_s:
+            continue
+        taken = claim.with_name(f"{claim.name}.reclaim.{os.getpid()}")
+        try:
+            os.rename(claim, taken)
+        except OSError:
+            continue  # another reclaimer won
+        owner_pid = None
+        try:
+            owner_pid = json.loads(hb.read_text()).get("pid")
+        except (OSError, ValueError):
+            pass
+        env = _read_envelope(taken)
+        if env is None:
+            _release(taken)
+            continue
+        digest, job = env["digest"], env["job"]
+        attempt = len(_attempt_lines(root, digest)) + 1
+        _fail_attempt(
+            root,
+            cfg,
+            digest,
+            job,
+            attempt,
+            kind="crash",
+            detail=(
+                f"lease expired after {cfg.lease_s:g}s without a "
+                f"heartbeat (worker pid {owner_pid} presumed dead)"
+            ),
+            pid=owner_pid,
+            claim_path=taken,
+        )
+        try:
+            hb.unlink()
+        except OSError:
+            pass
+        reclaimed += 1
+    return reclaimed
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _store_result(store, digest: str, job: Job, value: Any) -> None:
+    if isinstance(store, ResultStore):
+        store.put(digest, value, meta=job_meta(job))
+    else:
+        store.put(digest, value)
+
+
+def process_one(root, cfg: SpoolConfig, store) -> str:
+    """Claim and run one ready job; returns what happened.
+
+    ``"done"`` / ``"requeued"`` / ``"failed"`` after holding a claim,
+    ``"wait"`` when work exists but nothing is ready, ``"empty"`` when
+    the spool is drained.  Execution goes through the pool's
+    :func:`~repro.campaign.pool._execute_one`, so fault injection,
+    result checksumming and the failure taxonomy are byte-identical to
+    the supervised backend; faults still only fire when
+    :data:`repro.campaign.faults.in_worker` is set, i.e. in real worker
+    processes, never in a coordinating one.
+    """
+    from repro.campaign.pool import _execute_one
+
+    root = Path(root)
+    status, digest, job, claim_path = claim_next(root)
+    if status != "claimed":
+        return status
+    attempt = len(_attempt_lines(root, digest)) + 1
+    lease = _Lease(root, cfg, digest, job, attempt, claim_path)
+    lease.start()
+    try:
+        reply = _execute_one(digest, job, attempt, cfg.fault_plan)
+    finally:
+        lease.release()
+    if reply[0] == "ok":
+        _, _, _, payload, checksum = reply
+        if hashlib.sha256(payload).hexdigest() != checksum:
+            return _fail_attempt(
+                root, cfg, digest, job, attempt,
+                kind="corrupt-result",
+                detail=f"payload checksum mismatch ({len(payload)} bytes)",
+                pid=os.getpid(), claim_path=claim_path,
+            )
+        try:
+            value = pickle.loads(payload)
+        except Exception as exc:
+            return _fail_attempt(
+                root, cfg, digest, job, attempt,
+                kind="corrupt-result",
+                detail=(
+                    f"payload failed to unpickle: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+                pid=os.getpid(), claim_path=claim_path,
+            )
+        _store_result(store, digest, job, value)
+        _release(claim_path)
+        return "done"
+    _, _, _, exc_type, message, tb = reply
+    kind = "unpicklable" if exc_type == "UnpicklableResult" else "exception"
+    return _fail_attempt(
+        root, cfg, digest, job, attempt,
+        kind=kind, detail=f"{exc_type}: {message}",
+        pid=os.getpid(), claim_path=claim_path,
+        exc_type=exc_type, tb=tb,
+    )
+
+
+def worker_loop(
+    root,
+    *,
+    idle_exit_s: float = 5.0,
+    poll_s: float = DEFAULT_POLL_S,
+    as_worker: bool = True,
+    max_jobs: Optional[int] = None,
+    progress: Optional[Callable[[str, str], None]] = None,
+) -> int:
+    """Drain a spool: the body of ``repro campaign worker``.
+
+    Claims ready jobs until the spool stays drained (or merely absent:
+    a worker may start before the coordinator's first enqueue) for
+    ``idle_exit_s`` seconds, reclaiming expired leases along the way.
+    ``as_worker=True`` marks the process as a real worker so fault
+    plans apply (and crash-style faults kill only this process — the
+    lease reclaim turns that into a retried attempt).  Returns the
+    number of claims this worker processed.
+    """
+    if as_worker:
+        faults_mod.in_worker = True
+    root = Path(root)
+    processed = 0
+    idle_since: Optional[float] = None
+    store = None
+    store_root = None
+    while True:
+        cfg = load_config(root)
+        if cfg is None:
+            status = "empty"  # not initialised yet — same grace period
+        else:
+            if store is None or store_root != cfg.store_root:
+                store = ResultStore(cfg.store_root)
+                store_root = cfg.store_root
+            reclaim_expired(root, cfg)
+            status = process_one(root, cfg, store)
+        if status in ("done", "requeued", "failed"):
+            processed += 1
+            idle_since = None
+            if progress is not None:
+                progress(status, "")
+            if max_jobs is not None and processed >= max_jobs:
+                return processed
+            continue
+        if status == "empty":
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since >= idle_exit_s:
+                return processed
+        else:  # "wait": backoff-delayed or leased elsewhere — stay
+            idle_since = None
+        time.sleep(poll_s)
+
+
+def _spawned_worker_main(root, idle_exit_s: float) -> None:
+    """Entry point for coordinator-spawned spool worker processes."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    worker_loop(root, idle_exit_s=idle_exit_s, as_worker=True)
+
+
+# ----------------------------------------------------------------------
+# the coordinating side
+# ----------------------------------------------------------------------
+class SpoolQueue(WorkQueue):
+    """Drain a campaign through a filesystem spool.
+
+    The coordinator enqueues the items, optionally spawns ``workers``
+    local worker processes, and then *observes*: results appear in the
+    shared ``store``, quarantines in ``failed/``, retries in the
+    attempt log.  Independent ``repro campaign worker`` processes —
+    started by hand, by CI, or on other hosts sharing the directory —
+    join the same drain at any time.  ``workers=0`` relies entirely on
+    such external workers (set ``participate=True`` to have the
+    coordinator claim jobs itself, with fault injection off, mirroring
+    the pool's serial path).
+
+    A storm of spawned-worker deaths with no progress (no result, no
+    quarantine, no new attempt line) degrades exactly like the pool:
+    remaining jobs are withdrawn from the spool and handed back for
+    serial in-process execution.
+    """
+
+    backend = "spool"
+
+    def __init__(
+        self,
+        root,
+        store,
+        *,
+        workers: int = 1,
+        participate: bool = False,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_s: float = DEFAULT_POLL_S,
+        degrade_after: Optional[int] = None,
+        worker_idle_exit_s: float = 0.5,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("SpoolQueue workers must be >= 0")
+        self.root = Path(root)
+        self.store = store
+        self.workers = workers
+        self.participate = participate
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.degrade_after = (
+            degrade_after
+            if degrade_after is not None
+            else max(3, workers + 1)
+        )
+        self.worker_idle_exit_s = worker_idle_exit_s
+
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx):
+        proc = ctx.Process(
+            target=_spawned_worker_main,
+            args=(str(self.root), self.worker_idle_exit_s),
+            daemon=True,
+            name="repro-spool-worker",
+        )
+        proc.start()
+        return proc
+
+    def drain(
+        self,
+        items: List[Tuple[str, Job]],
+        *,
+        retry: RetryPolicy,
+        timeout_s: Optional[float],
+        fault_plan: Optional[FaultPlan],
+        on_result: OnResult,
+        on_retry: OnRetry,
+        on_failure: OnFailure,
+    ) -> Tuple[Optional[str], List[Tuple[str, Job]]]:
+        import multiprocessing
+
+        cfg = SpoolConfig(
+            store_root=str(self.store.root),
+            retry=retry,
+            timeout_s=timeout_s,
+            fault_plan=fault_plan,
+            lease_s=self.lease_s,
+        )
+        order = [digest for digest, _ in items]
+        pending: Dict[str, Job] = dict(items)
+        enqueue(self.root, cfg, items)
+        ctx = multiprocessing.get_context()
+        procs = [self._spawn(ctx) for _ in range(self.workers)]
+        retries_seen: Dict[str, int] = {digest: 0 for digest in pending}
+        deaths = 0
+        try:
+            while pending:
+                reclaim_expired(self.root, cfg)
+                progressed = False
+                for digest in list(pending):
+                    job = pending[digest]
+                    lines = _attempt_lines(self.root, digest)
+                    requeued = [l for l in lines if l.get("requeued")]
+                    for line in requeued[retries_seen[digest]:]:
+                        on_retry(digest, job, _record_from_line(line))
+                        progressed = True
+                    retries_seen[digest] = len(requeued)
+                    failure = load_failure(self.root, digest)
+                    if failure is not None:
+                        on_failure(digest, job, failure)
+                        del pending[digest]
+                        progressed = True
+                        continue
+                    if self.store.contains(digest):
+                        hit, value = self.store.get(digest)
+                        if hit:
+                            on_result(digest, value)
+                            del pending[digest]
+                            progressed = True
+                        else:
+                            # Stored then corrupted on disk: the entry
+                            # was dropped — put the job back in play.
+                            enqueue(self.root, cfg, [(digest, job)])
+                            retries_seen[digest] = 0
+                if progressed:
+                    deaths = 0
+                if not pending:
+                    break
+                for index, proc in enumerate(procs):
+                    if proc.is_alive():
+                        continue
+                    proc.join()
+                    deaths += 1
+                    procs[index] = self._spawn(ctx)
+                if self.workers > 0 and deaths >= self.degrade_after:
+                    remaining = self._withdraw(order, pending)
+                    return (
+                        f"spool degraded to serial after {deaths} "
+                        "consecutive worker deaths without progress",
+                        remaining,
+                    )
+                if self.participate and self.workers == 0:
+                    process_one(self.root, cfg, self.store)
+                    continue  # immediately re-check for the result
+                time.sleep(self.poll_s)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+        return None, []
+
+    # ------------------------------------------------------------------
+    def _withdraw(
+        self, order: List[str], pending: Dict[str, Job]
+    ) -> List[Tuple[str, Job]]:
+        """Pull unresolved jobs out of the spool for the serial fallback.
+
+        Queued envelopes are removed outright; claims whose owner is
+        dead are taken over (our spawned workers just died — an
+        external worker with a live pid keeps its lease and the serial
+        fallback simply races it to the store, harmlessly, since
+        results are idempotent by digest).
+        """
+        from repro.campaign.cache import _pid_alive
+
+        dirs = _dirs(self.root)
+        for digest in pending:
+            trash = dirs["jobs"] / f".{digest}.withdrawn.{os.getpid()}"
+            try:
+                os.rename(dirs["jobs"] / f"{digest}.job", trash)
+                trash.unlink()
+            except OSError:
+                pass
+            claim = dirs["claims"] / f"{digest}.job"
+            hb = claim.with_suffix(".hb")
+            owner = None
+            try:
+                owner = json.loads(hb.read_text()).get("pid")
+            except (OSError, ValueError):
+                pass
+            if owner is None or not _pid_alive(int(owner)):
+                _release(claim)
+        return [(digest, pending[digest]) for digest in order if digest in pending]

@@ -1,0 +1,390 @@
+"""Layered result store: the checksummed cache plus a queryable index.
+
+:class:`ResultStore` is the campaign subsystem's storage layer.  It
+keeps :class:`~repro.campaign.cache.ResultCache`'s on-disk payload
+format byte-for-byte (versioned magic + SHA-256 + pickle, written via
+temp file + rename) and adds what an opaque blob store cannot answer:
+
+* a **crash-safe on-disk index** over ``(experiment, family, config
+  digest, seed)`` — an append-only JSONL log replayed on open, so a
+  killed writer costs at most its own un-flushed line, never the
+  index.  A truncated or corrupt tail line is skipped on load (the
+  payload files stay authoritative), and :meth:`reindex` rebuilds the
+  whole index from the surviving entries;
+* **query/list/stat** operations that answer "which results do I have
+  for this experiment / family / seed?" from the index alone, without
+  unpickling a single payload (``repro campaign query``);
+* **incremental-sweep planning**: :meth:`plan` splits a batch of jobs
+  into ``(cached, missing)`` by probing entry presence, so a
+  10,000-config sweep enumerates everything but executes only the
+  uncached remainder (``--missing-only``).
+
+The index is *advisory*: entry files remain the source of truth.
+Reads never trust the index (``get`` goes to the file), queries drop
+dangling index rows lazily, and :meth:`verify_index` reports both
+inconsistency directions for ``repro campaign verify-cache``.
+
+This module also owns the store-root resolution rule that fixes the
+old relative-path footgun: ``.repro-cache/campaign`` used to resolve
+against the process CWD, silently growing a second cold cache when a
+campaign ran from a subdirectory.  :func:`default_store_root` resolves
+against the ``REPRO_CACHE_DIR`` environment variable when set, else
+against the repository root found by walking up from the CWD.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.job import Job, thaw
+
+#: Environment override for the store root (absolute or CWD-relative).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Store directory relative to the resolved root (kept from PR 2, so an
+#: existing checkout's warm cache stays warm after the refactor).
+DEFAULT_CACHE_DIRNAME = ".repro-cache/campaign"
+
+#: Files whose presence marks a directory as the repository root.
+_ROOT_MARKERS = (".git", "setup.py", "pyproject.toml")
+
+#: Index file name, under the store root.
+INDEX_NAME = "index.jsonl"
+
+
+def repo_root(start: Optional[Path] = None) -> Optional[Path]:
+    """The nearest enclosing repository root, or ``None``.
+
+    Walks up from ``start`` (default: CWD) looking for a marker file —
+    ``.git``, ``setup.py`` or ``pyproject.toml`` — so a campaign run
+    from ``src/`` or ``tests/`` lands in the same store as one run from
+    the checkout root.
+    """
+    here = (Path.cwd() if start is None else Path(start)).resolve()
+    for candidate in (here, *here.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
+
+
+def default_store_root() -> Path:
+    """Where the result store lives when no ``--cache-dir`` is given.
+
+    Resolution order: ``REPRO_CACHE_DIR`` (used verbatim), else
+    ``<repo root>/.repro-cache/campaign``, else — outside any
+    repository — the old CWD-relative default.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    root = repo_root()
+    if root is not None:
+        return root / DEFAULT_CACHE_DIRNAME
+    return Path(DEFAULT_CACHE_DIRNAME)
+
+
+def job_meta(job: Job) -> Dict[str, Any]:
+    """Index metadata for one job: experiment, key, family, seed.
+
+    ``family`` and ``seed`` come from the job's own config: a scenario
+    job carries its :class:`~repro.scenario.spec.ScenarioSpec` (family
+    is the spec name before any ``[overrides]`` suffix, seed is the
+    spec seed); any other job falls back to its experiment name and a
+    top-level ``seed`` param when present.  Pure metadata — nothing
+    here feeds the digest.
+    """
+    family: Optional[str] = job.experiment
+    seed: Optional[int] = None
+    try:
+        params = thaw(job.params)
+    except Exception:
+        params = None
+    if isinstance(params, dict):
+        raw_seed = params.get("seed")
+        if isinstance(raw_seed, (int, float)):
+            seed = int(raw_seed)
+        spec = params.get("spec")
+        # Duck-typed so the store never imports the scenario package
+        # (which imports campaign right back).
+        name = getattr(spec, "name", None)
+        spec_seed = getattr(spec, "seed", None)
+        if isinstance(name, str) and name:
+            family = name.partition("[")[0]
+        if isinstance(spec_seed, int):
+            seed = spec_seed
+    return {
+        "experiment": job.experiment,
+        "key": job.key if isinstance(job.key, str) else repr(job.key),
+        "family": family,
+        "seed": seed,
+        "executor": job.executor,
+    }
+
+
+class StoreIndex:
+    """Append-only JSONL index: ``digest -> metadata``.
+
+    Every mutation appends one self-contained line
+    (``{"op": "add"|"remove", "digest": ..., ...meta}``) with an
+    immediate flush, so a crashed writer loses at most the line it was
+    writing.  :meth:`load` replays the log and *skips* lines that fail
+    to parse (the torn tail of a killed append, or plain corruption),
+    counting them in :attr:`corrupt_lines`; :meth:`rewrite` compacts
+    the log atomically from the in-memory state.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        self.load()
+
+    def load(self) -> None:
+        self.entries = {}
+        self.corrupt_lines = 0
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op = record.pop("op")
+                digest = record.pop("digest")
+            except (ValueError, KeyError, TypeError, AttributeError):
+                self.corrupt_lines += 1
+                continue
+            if op == "add":
+                self.entries[digest] = record
+            elif op == "remove":
+                self.entries.pop(digest, None)
+            else:
+                self.corrupt_lines += 1
+
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One write() of one line in append mode: concurrent store
+        # writers (spool workers sharing the directory) interleave at
+        # line granularity, never mid-line, for small records.
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def add(self, digest: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        meta = dict(meta or {})
+        if self.entries.get(digest) == meta:
+            return  # idempotent re-put: don't grow the log
+        self._append({"op": "add", "digest": digest, **meta})
+        self.entries[digest] = meta
+
+    def remove(self, digest: str) -> None:
+        if digest not in self.entries:
+            return
+        self._append({"op": "remove", "digest": digest})
+        self.entries.pop(digest, None)
+
+    def rewrite(self) -> None:
+        """Atomic compaction: one ``add`` line per live entry."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        lines = [
+            json.dumps({"op": "add", "digest": digest, **meta}, sort_keys=True)
+            for digest, meta in sorted(self.entries.items())
+        ]
+        tmp.write_text("".join(line + "\n" for line in lines))
+        os.replace(tmp, self.path)
+
+
+@dataclass
+class SweepPlan:
+    """What :meth:`ResultStore.plan` decided about a batch of jobs.
+
+    ``cached``/``missing`` partition the *requested* jobs; the unique
+    counts collapse duplicate digests (coalescing), so
+    ``missing_digests`` is exactly the set of simulations an
+    incremental sweep still has to run.
+    """
+
+    cached: List[Job] = field(default_factory=list)
+    missing: List[Job] = field(default_factory=list)
+    cached_digests: List[str] = field(default_factory=list)
+    missing_digests: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cached) + len(self.missing)
+
+    def summary(self) -> str:
+        return (
+            f"plan: {len(self.cached)} cached, {len(self.missing)} missing "
+            f"of {self.total} job(s) "
+            f"({len(self.cached_digests)} + {len(self.missing_digests)} "
+            "unique digests)"
+        )
+
+
+class ResultStore(ResultCache):
+    """The cache plus a queryable, rebuildable metadata index.
+
+    Payload entries are bit-compatible with :class:`ResultCache` (an
+    existing cache directory upgrades in place: the index starts empty
+    and :meth:`reindex` — or simply continued use — populates it).
+    """
+
+    def __init__(self, root=None) -> None:
+        super().__init__(default_store_root() if root is None else root)
+        self.index = StoreIndex(self.root / INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # writes keep the index in step
+    # ------------------------------------------------------------------
+    def put(
+        self, digest: str, value: Any, meta: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        path = super().put(digest, value)
+        self.index.add(digest, meta)
+        return path
+
+    def put_for_job(self, job: Job, value: Any) -> Path:
+        """``put`` with the job's own metadata in the index row."""
+        return self.put(job.digest, value, meta=job_meta(job))
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        hit, value = super().get(digest)
+        if not hit and not self.path_for(digest).exists():
+            # Entry gone (never existed, or dropped as corrupt): the
+            # index row, if any, is stale — self-heal it now.
+            self.index.remove(digest)
+        return hit, value
+
+    def clear(self) -> int:
+        removed = super().clear()
+        self.index.entries.clear()
+        self.index.rewrite()
+        return removed
+
+    # ------------------------------------------------------------------
+    # presence and planning (no payload reads)
+    # ------------------------------------------------------------------
+    def contains(self, digest: str) -> bool:
+        """Entry presence by file existence — no unpickling, and no
+        trust in the index (an unindexed entry still counts)."""
+        return self.path_for(digest).exists()
+
+    def plan(self, jobs: Iterable[Job]) -> SweepPlan:
+        """Split ``jobs`` into already-stored vs still-to-run.
+
+        One ``contains`` probe per unique digest: a 10,000-config sweep
+        plans with 10,000 stats, zero payload reads.
+        """
+        plan = SweepPlan()
+        present: Dict[str, bool] = {}
+        for job in jobs:
+            digest = job.digest
+            hit = present.get(digest)
+            if hit is None:
+                hit = self.contains(digest)
+                present[digest] = hit
+                (plan.cached_digests if hit else plan.missing_digests).append(
+                    digest
+                )
+            (plan.cached if hit else plan.missing).append(job)
+        return plan
+
+    # ------------------------------------------------------------------
+    # queries (index-driven, payloads never unpickled)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        *,
+        experiment: Optional[str] = None,
+        family: Optional[str] = None,
+        seed: Optional[int] = None,
+        digest_prefix: Optional[str] = None,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Index rows matching every given filter, sorted by digest.
+
+        Rows whose entry file has vanished are dropped from the result
+        *and* healed out of the index.
+        """
+        matches: List[Tuple[str, Dict[str, Any]]] = []
+        for digest in sorted(self.index.entries):
+            meta = self.index.entries[digest]
+            if digest_prefix and not digest.startswith(digest_prefix):
+                continue
+            if experiment is not None and meta.get("experiment") != experiment:
+                continue
+            if family is not None and meta.get("family") != family:
+                continue
+            if seed is not None and meta.get("seed") != seed:
+                continue
+            matches.append((digest, meta))
+        alive: List[Tuple[str, Dict[str, Any]]] = []
+        for digest, meta in matches:
+            if self.contains(digest):
+                alive.append((digest, meta))
+            else:
+                self.index.remove(digest)
+        return alive
+
+    def stat(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Entry facts without unpickling: metadata + size + mtime."""
+        path = self.path_for(digest)
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        meta = self.index.entries.get(digest)
+        return {
+            "digest": digest,
+            "size_bytes": st.st_size,
+            "mtime": st.st_mtime,
+            "indexed": meta is not None,
+            **(meta or {}),
+        }
+
+    # ------------------------------------------------------------------
+    # index consistency
+    # ------------------------------------------------------------------
+    def entry_digests(self) -> List[str]:
+        """Digests of the entry files actually on disk, sorted."""
+        return sorted(self.digests())
+
+    def verify_index(self) -> Tuple[List[str], List[str]]:
+        """``(dangling, unindexed)``: index rows without an entry file,
+        and entry files without an index row.  Read-only — the
+        ``verify-cache`` CLI reports them; :meth:`reindex` fixes both.
+        """
+        on_disk = set(self.entry_digests())
+        indexed = set(self.index.entries)
+        dangling = sorted(indexed - on_disk)
+        unindexed = sorted(on_disk - indexed)
+        return dangling, unindexed
+
+    def reindex(self) -> Tuple[int, int, int]:
+        """Rebuild the index to exactly match the surviving entries.
+
+        Known metadata is preserved; entries the index never saw (e.g.
+        a pre-index cache directory, or a writer killed between payload
+        rename and index append) are added with empty metadata; rows
+        whose entry vanished are dropped.  Returns
+        ``(entries, added, dropped)``.
+        """
+        on_disk = self.entry_digests()
+        known = self.index.entries
+        added = sum(1 for digest in on_disk if digest not in known)
+        dropped = sum(1 for digest in known if digest not in set(on_disk))
+        self.index.entries = {
+            digest: known.get(digest, {}) for digest in on_disk
+        }
+        self.index.rewrite()
+        return len(on_disk), added, dropped

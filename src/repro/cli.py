@@ -11,6 +11,7 @@ Usage::
     python -m repro scenario run churn [--set period_s=1.0]
     python -m repro perf [--stations 4,16,64,128] [--schedulers fifo,drr,tbr]
     python -m repro campus-scaling [--cells 2,4,8,16,32,64]
+    python -m repro serve [--port 8037] [--cache-dir DIR]
 
 Each experiment prints the same paper-vs-measured rendering the
 benchmark harness stores under ``benchmarks/results/``.  ``campaign``
@@ -67,6 +68,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.campus_scaling import main as campus_main
 
         return campus_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -103,6 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               "(python -m repro perf --help)")
         print("  campus-scaling ESS cells-vs-wall benchmark -> "
               "BENCH_perf.json (python -m repro campus-scaling --help)")
+        print("  serve    Scenario reproduction over HTTP, backed by the "
+              "result store (python -m repro serve --help)")
         return 0
 
     if args.experiment == "all":

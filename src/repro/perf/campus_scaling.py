@@ -48,6 +48,40 @@ DEFAULT_WARMUP_S = 0.5
 #: projected from the measured curve and annotated as skipped.
 DEFAULT_BUDGET_S = 120.0
 
+#: Executor address for :func:`execute_point` (campaign job form).
+POINT_EXECUTOR = "repro.perf.campus_scaling:execute_point"
+
+
+def execute_point(params: Dict) -> Dict:
+    """Campaign executor for one campus point.
+
+    Runs the spec and measures its wall-clock *inside* the result, so a
+    store hit replays the originally measured timing — a warm
+    ``repro perf --campus`` rerun reports the real curve without
+    executing a single simulation.
+    """
+    from repro.scenario.runner import run_spec
+
+    spec = params["spec"]
+    t0 = time.perf_counter()
+    result = run_spec(spec)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "events": result.events_executed,
+        "total_mbps": result.total_mbps,
+        "roams": result.roams_fired,
+    }
+
+
+def campus_point_job(spec):
+    """Wrap one campus point as a campaign :class:`Job`."""
+    from repro.campaign.job import make_job
+
+    return make_job(
+        "campus-scaling", spec.name, POINT_EXECUTOR, {"spec": spec}
+    )
+
 
 @dataclass
 class CampusScaleSample:
@@ -117,6 +151,8 @@ def run_campus_scaling(
     warmup_s: float = DEFAULT_WARMUP_S,
     budget_s: float = DEFAULT_BUDGET_S,
     progress: Optional[Callable[[int, float], None]] = None,
+    store=None,
+    stats_out: Optional[Dict] = None,
 ) -> List[CampusScaleSample]:
     """Sweep the ``campus`` family over ``cell_counts``.
 
@@ -126,9 +162,30 @@ def run_campus_scaling(
     first; each measured point refines the projection that decides
     whether the next fits the budget.  ``progress(n_cells, wall_s)``
     fires after each measured point.
+
+    With a ``store`` (a :class:`~repro.campaign.store.ResultStore`),
+    each point runs as a campaign job keyed on its spec content: warm
+    reruns replay the stored measurements — including the originally
+    measured ``wall_s`` — without simulating.  ``stats_out`` (a dict)
+    then receives ``executed``/``cached`` point counts.
     """
     from repro.scenario.registry import build_spec
-    from repro.scenario.runner import run_spec
+
+    if stats_out is not None:
+        stats_out.setdefault("executed", 0)
+        stats_out.setdefault("cached", 0)
+
+    def measure(spec) -> Dict:
+        if store is None:
+            return execute_point({"spec": spec})
+        from repro.campaign.executor import run_jobs
+
+        job = campus_point_job(spec)
+        outcome = run_jobs([job], workers=1, cache=store)
+        if stats_out is not None:
+            stats_out["executed"] += outcome.stats.executed
+            stats_out["cached"] += outcome.stats.cached
+        return outcome.results[job]
 
     samples: List[CampusScaleSample] = []
     for n_cells in sorted(cell_counts):
@@ -163,20 +220,18 @@ def run_campus_scaling(
             n_channels=3,
             n_roamers=n_roamers,
         )
-        t0 = time.perf_counter()
-        result = run_spec(spec)
-        wall = time.perf_counter() - t0
+        point = measure(spec)
         if progress is not None:
-            progress(n_cells, wall)
+            progress(n_cells, point["wall_s"])
         samples.append(
             CampusScaleSample(
                 n_cells=n_cells,
                 stations=stations,
                 sim_seconds=seconds,
-                wall_s=wall,
-                events=result.events_executed,
-                total_mbps=result.total_mbps,
-                roams=result.roams_fired,
+                wall_s=point["wall_s"],
+                events=point["events"],
+                total_mbps=point["total_mbps"],
+                roams=point["roams"],
             )
         )
     return samples
@@ -345,6 +400,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the table without touching the JSON report",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root (default: $REPRO_CACHE_DIR, else "
+        "<repo root>/.repro-cache/campaign)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="measure every point in-process, bypassing the result store",
+    )
     args = parser.parse_args(argv)
     try:
         cell_counts = [
@@ -359,10 +426,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.budget <= 0:
         parser.error("--budget must be positive")
 
+    store = None
+    if not args.no_cache:
+        from repro.campaign.store import ResultStore, default_store_root
+
+        store = ResultStore(
+            default_store_root()
+            if args.cache_dir is None
+            else args.cache_dir
+        )
     print(
         f"Running campus scaling over {len(cell_counts)} cell counts "
         f"(seed {args.seed}) ..."
     )
+    stats: Dict = {}
     samples = run_campus_scaling(
         cell_counts,
         seed=args.seed,
@@ -371,7 +448,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=lambda n, wall: print(
             f"  {n:>3} cells  {wall:8.3f}s wall"
         ),
+        store=store,
+        stats_out=stats,
     )
+    if store is not None:
+        print(
+            f"  store: {stats.get('executed', 0)} point(s) executed, "
+            f"{stats.get('cached', 0)} replayed from {store.root}"
+        )
     print()
     print(render_campus_scaling(samples))
     if not args.no_write:

@@ -287,12 +287,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_campus_scaling,
         )
 
+        from repro.campaign.store import ResultStore, default_store_root
+
         print("\nRunning campus scaling benchmark ...")
+        campus_stats: dict = {}
         campus_samples = run_campus_scaling(
             seed=args.seed,
             progress=lambda n, wall: print(
                 f"  {n:>3} cells  {wall:8.3f}s wall"
             ),
+            store=ResultStore(default_store_root()),
+            stats_out=campus_stats,
+        )
+        print(
+            f"  store: {campus_stats.get('executed', 0)} point(s) "
+            f"executed, {campus_stats.get('cached', 0)} replayed"
         )
         print(render_campus_scaling(campus_samples))
         campus = campus_row(campus_samples, seed=args.seed)

@@ -20,10 +20,10 @@ import argparse
 import sys
 from typing import Any, Dict, List, Optional
 
-# Same default cache as the figure/table campaigns — scenario jobs are
+# Same default store as the figure/table campaigns — scenario jobs are
 # content-addressed, so sharing the directory is safe (and lets warm
 # re-runs coalesce across both CLIs).
-from repro.campaign.cli import DEFAULT_CACHE_DIR
+from repro.campaign.store import default_store_root
 from repro.scenario.registry import FAMILIES, build_spec, sweep_specs
 from repro.scenario.runner import render_result, run_spec, run_sweep
 
@@ -106,11 +106,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sweep_p.add_argument("--jobs", type=int, default=None, metavar="N")
     sweep_p.add_argument(
-        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR"
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store root (default: $REPRO_CACHE_DIR, else "
+        "<repo root>/.repro-cache/campaign)",
     )
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--force", action="store_true")
     sweep_p.add_argument("--quiet", action="store_true")
+    sweep_p.add_argument(
+        "--missing-only", action="store_true",
+        help="plan the sweep against the result store, report the "
+        "cached/missing split, and execute only the missing points "
+        "(no renders — fill-the-store mode)",
+    )
+    sweep_p.add_argument(
+        "--queue", choices=("pool", "spool"), default="pool",
+        help="work queue backend: in-process supervised pool (default) "
+        "or a filesystem spool shared with 'repro campaign worker' "
+        "processes",
+    )
+    sweep_p.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="spool directory for --queue spool",
+    )
+    sweep_p.add_argument(
+        "--spool-workers", type=int, default=None, metavar="N",
+        help="worker processes to spawn for --queue spool (default: "
+        "--jobs; 0 relies on external workers)",
+    )
     sweep_p.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="per-point wall-clock budget; hung points are killed and "
@@ -227,9 +250,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    from repro.campaign.cache import ResultCache
     from repro.campaign.executor import quarantine_report
     from repro.campaign.policy import RetryPolicy
+    from repro.campaign.store import ResultStore
+
+    if args.queue == "spool" and not args.spool_dir:
+        print("--queue spool requires --spool-dir", file=sys.stderr)
+        return 2
+    if args.spool_workers is not None and args.spool_workers < 0:
+        print("--spool-workers must be >= 0", file=sys.stderr)
+        return 2
 
     if args.sanitize:
         # Workers inherit the supervisor's environment, so the env
@@ -246,12 +276,59 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.environ[FASTFWD_ENV] = "1"
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = (
+        None
+        if args.no_cache
+        else ResultStore(
+            default_store_root()
+            if args.cache_dir is None
+            else args.cache_dir
+        )
+    )
     retry = (
         RetryPolicy(max_attempts=args.retries)
         if args.retries is not None
         else None
     )
+
+    missing_only = args.missing_only
+    if missing_only:
+        if cache is None:
+            print(
+                "--missing-only needs the result store (drop --no-cache)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.scenario.runner import scenario_job
+
+        plan = cache.plan(
+            scenario_job(spec, key=spec.name) for spec in specs
+        )
+        print(plan.summary())
+        if not plan.missing:
+            print("nothing to execute — the store already has every point")
+            return 0
+        missing_names = {job.key for job in plan.missing}
+        specs = [spec for spec in specs if spec.name in missing_names]
+
+    queue = None
+    if args.queue == "spool":
+        if cache is None:
+            print(
+                "--queue spool needs the result store (drop --no-cache)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.campaign.queue import SpoolQueue
+
+        spool_workers = (
+            args.spool_workers
+            if args.spool_workers is not None
+            else (args.jobs or 1)
+        )
+        queue = SpoolQueue(
+            args.spool_dir, cache, workers=spool_workers
+        )
 
     def progress(event: str, job, done: int, total: int) -> None:
         if not args.quiet:
@@ -268,6 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=progress,
             retry=retry,
             timeout_s=args.timeout,
+            queue=queue,
         )
     except FaultPlanError as exc:
         # A malformed REPRO_CAMPAIGN_FAULTS plan is a usage error, not
@@ -275,6 +353,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     by_key = outcome.experiment_results("scenario")
+    if missing_only:
+        # Fill-the-store mode: the renders belong to a later warm run.
+        specs = []
     for spec in specs:
         if spec.name not in by_key:
             print(f"[{spec.name}: not rendered — job quarantined]")

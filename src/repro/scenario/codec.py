@@ -1,0 +1,158 @@
+"""JSON codec for frozen job-config trees and ScenarioSpecs.
+
+The campaign layer freezes configs into tagged-tuple trees
+(:func:`repro.campaign.job.freeze`) whose ``repr`` is the content
+digest.  That encoding is perfect for hashing and pickling but cannot
+cross an HTTP boundary; this module gives it a faithful JSON form so
+``repro serve`` can accept full ScenarioSpecs over the wire.
+
+Faithfulness is the contract: ``decode_tree(encode_tree(t)) == t`` for
+every tree ``freeze`` can produce, which makes the round-tripped spec's
+content digest — and therefore its result-store address — identical to
+the one the CLI computes locally.  Specs decoded from *hand-written*
+JSON are thawed and re-frozen through the dataclass itself, so a client
+need not reproduce ``freeze``'s canonical ordering to hit the cache.
+
+Decoding is deliberately narrow: ``@dataclass`` nodes may only name
+classes inside the ``repro.`` package, so a request body can never make
+the server import or instantiate arbitrary code.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.campaign.job import freeze, thaw
+from repro.scenario.spec import ScenarioSpec
+
+_TAG_TUPLE = "@tuple"
+_TAG_DICT = "@dict"
+_TAG_SET = "@set"
+_TAG_DATA = "@dataclass"
+
+#: Only dataclasses under this package may be instantiated on decode.
+_TRUSTED_PREFIX = "repro."
+
+
+class CodecError(ValueError):
+    """A tree or spec failed to encode or decode."""
+
+
+def encode_tree(value: Any) -> Any:
+    """Frozen tree -> JSON-serialisable structure.
+
+    Primitives pass through (JSON keeps the int/float distinction the
+    digest depends on); ``bytes`` and the four frozen-tree tags become
+    single-key objects.  Raises :class:`CodecError` on anything that is
+    not a valid frozen tree.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"@bytes": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple) and value:
+        tag = value[0]
+        if tag == _TAG_TUPLE:
+            return {_TAG_TUPLE: [encode_tree(v) for v in value[1]]}
+        if tag == _TAG_DICT:
+            return {
+                _TAG_DICT: [
+                    [encode_tree(k), encode_tree(v)] for k, v in value[1]
+                ]
+            }
+        if tag == _TAG_SET:
+            return {_TAG_SET: [encode_tree(v) for v in value[1]]}
+        if tag == _TAG_DATA:
+            return {
+                _TAG_DATA: [
+                    value[1],
+                    [[name, encode_tree(v)] for name, v in value[2]],
+                ]
+            }
+    raise CodecError(
+        f"cannot encode {value!r} of type {type(value).__name__}: "
+        "not a frozen job-config tree"
+    )
+
+
+def decode_tree(obj: Any) -> Any:
+    """JSON structure -> frozen tree (inverse of :func:`encode_tree`)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        if len(obj) != 1:
+            raise CodecError(
+                f"tagged node must have exactly one key, got {sorted(obj)}"
+            )
+        (tag, body), = obj.items()
+        try:
+            if tag == "@bytes":
+                return base64.b64decode(body, validate=True)
+            if tag == _TAG_TUPLE:
+                return (_TAG_TUPLE, tuple(decode_tree(v) for v in body))
+            if tag == _TAG_DICT:
+                return (
+                    _TAG_DICT,
+                    tuple(
+                        (decode_tree(k), decode_tree(v)) for k, v in body
+                    ),
+                )
+            if tag == _TAG_SET:
+                return (_TAG_SET, tuple(decode_tree(v) for v in body))
+            if tag == _TAG_DATA:
+                cls_path, fields = body
+                if not (
+                    isinstance(cls_path, str)
+                    and cls_path.startswith(_TRUSTED_PREFIX)
+                ):
+                    raise CodecError(
+                        f"refusing dataclass path {cls_path!r}: only "
+                        f"'{_TRUSTED_PREFIX}*' classes may be decoded"
+                    )
+                return (
+                    _TAG_DATA,
+                    cls_path,
+                    tuple((name, decode_tree(v)) for name, v in fields),
+                )
+        except CodecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed {tag} node: {exc}") from exc
+        raise CodecError(f"unknown node tag {tag!r}")
+    raise CodecError(
+        f"cannot decode {type(obj).__name__} node: expected a JSON "
+        "primitive or a single-key tagged object"
+    )
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec convenience wrappers
+# ----------------------------------------------------------------------
+def spec_to_json(spec: ScenarioSpec) -> Any:
+    """Encode a spec as its frozen tree in JSON form."""
+    return encode_tree(freeze(spec))
+
+
+def spec_from_json(obj: Any) -> ScenarioSpec:
+    """Decode, thaw and validate a ScenarioSpec from JSON.
+
+    Thawing goes through the real dataclass constructors, so the
+    returned spec re-freezes canonically: its content digest matches
+    byte-for-byte what a local ``build_spec`` of the same content
+    produces, however the JSON happened to be ordered.
+    """
+    try:
+        value = thaw(decode_tree(obj))
+    except (TypeError, ValueError, AttributeError, ImportError) as exc:
+        raise CodecError(f"spec failed to decode: {exc}") from exc
+    if not isinstance(value, ScenarioSpec):
+        raise CodecError(
+            f"decoded object is a {type(value).__name__}, not a "
+            "ScenarioSpec"
+        )
+    try:
+        value.validate()
+    except ValueError as exc:
+        raise CodecError(f"decoded spec is invalid: {exc}") from exc
+    return value

@@ -207,6 +207,7 @@ def run_sweep(
     progress: Optional[Callable[..., None]] = None,
     retry=None,
     timeout_s: Optional[float] = None,
+    queue=None,
 ):
     """Fan a batch of specs out through the supervised campaign executor.
 
@@ -231,6 +232,7 @@ CampaignOutcome`; per-spec results are under
         progress=progress,
         retry=retry,
         timeout_s=timeout_s,
+        queue=queue,
     )
 
 

@@ -1,0 +1,373 @@
+"""``python -m repro serve`` — scenario reproduction over HTTP.
+
+A stdlib-only front-end to the campaign result store: POST a
+ScenarioSpec (by family + overrides, or as full codec JSON) and get
+back exactly the bytes ``python -m repro scenario run`` would print.
+Requests are keyed on the spec's content digest, so a warm store
+answers without simulating and two clients asking for the same spec
+coalesce into one execution.
+
+API::
+
+    GET  /healthz            -> "ok"
+    GET  /stats              -> JSON serve/store counters
+    GET  /query?family=...&experiment=...&seed=...&digest=...
+                             -> JSON rows from the store index
+    POST /run                -> rendered scenario (text/plain)
+
+``POST /run`` bodies are JSON, either shape::
+
+    {"family": "churn", "overrides": {"seed": 2, "seconds": 1.0}}
+    {"spec": {...}}      # repro.scenario.codec.spec_to_json output
+
+Response headers carry the cache verdict: ``X-Repro-Digest`` (the job's
+store address), ``X-Repro-Cache`` (``hit``/``miss``) and
+``X-Repro-Executed`` (simulations this request ran).  Append
+``?progress=1`` to stream ``# [i/n] ...`` progress lines ahead of the
+render (the render itself stays byte-identical; strip lines starting
+with ``#`` and the payload matches the CLI).
+
+Misses execute through :func:`repro.campaign.executor.run_jobs` under a
+server-wide lock — one simulation at a time, every policy (retry,
+quarantine, fault plans via ``REPRO_CAMPAIGN_FAULTS``) identical to the
+CLI path — and land in the shared store, where ``repro campaign
+query``/``verify-cache`` and warm CLI sweeps see them immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+#: Refuse request bodies larger than this (a spec is a few KB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServeError(Exception):
+    """Maps a request problem to an HTTP status + message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeState:
+    """Shared server state: the store, counters, and the run lock."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.lock = threading.Lock()  # one simulation at a time
+        self.counters = {"requests": 0, "hits": 0, "misses": 0,
+                         "executed": 0, "errors": 0}
+        self.counters_lock = threading.Lock()
+
+    def bump(self, **deltas: int) -> None:
+        with self.counters_lock:
+            for name, delta in deltas.items():
+                self.counters[name] += delta
+
+    # ------------------------------------------------------------------
+    def spec_for(self, body: Dict[str, Any]):
+        """Resolve a request body into a validated ScenarioSpec."""
+        from repro.scenario.codec import CodecError, spec_from_json
+        from repro.scenario.registry import FAMILIES, build_spec
+
+        if not isinstance(body, dict):
+            raise ServeError(400, "request body must be a JSON object")
+        if "spec" in body:
+            try:
+                return spec_from_json(body["spec"])
+            except CodecError as exc:
+                raise ServeError(400, str(exc)) from exc
+            except ValueError as exc:
+                raise ServeError(400, f"invalid spec: {exc}") from exc
+        family = body.get("family")
+        if not family:
+            raise ServeError(
+                400, "body needs either 'spec' or 'family' (+'overrides')"
+            )
+        if family not in FAMILIES:
+            raise ServeError(
+                404,
+                f"unknown scenario family {family!r}; "
+                f"valid: {', '.join(FAMILIES)}",
+            )
+        overrides = body.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ServeError(400, "'overrides' must be an object")
+        try:
+            spec = build_spec(family, **overrides)
+            spec.validate()
+        except (TypeError, ValueError) as exc:
+            raise ServeError(400, str(exc)) from exc
+        return spec
+
+    def run(self, spec, progress=None):
+        """Serve one spec: store hit, or execute-and-store.
+
+        Returns ``(rendered_bytes, digest, hit, executed)``.
+        """
+        from repro.campaign.executor import run_jobs
+        from repro.scenario.runner import render_result, scenario_job
+
+        job = scenario_job(spec, key=spec.name)
+        digest = job.digest
+        hit, result = self.store.get(digest)
+        if hit:
+            self.bump(hits=1)
+            rendered = (render_result(result) + "\n").encode("utf-8")
+            return rendered, digest, True, 0
+        self.bump(misses=1)
+        with self.lock:
+            outcome = run_jobs(
+                [job], workers=1, cache=self.store, progress=progress
+            )
+        executed = outcome.stats.executed
+        self.bump(executed=executed)
+        if job not in outcome.results:
+            failure = next(
+                (f for f in outcome.failures if f.digest == digest), None
+            )
+            detail = (
+                f"{failure.attempts[-1].kind}: {failure.attempts[-1].detail}"
+                if failure and failure.attempts
+                else "job quarantined"
+            )
+            raise ServeError(500, f"scenario failed to execute ({detail})")
+        rendered = (render_result(outcome.results[job]) + "\n").encode(
+            "utf-8"
+        )
+        return rendered, digest, False, executed
+
+
+class _Handler(BaseHTTPRequestHandler):
+    state: ServeState  # injected by make_server
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        if not self.quiet:
+            sys.stderr.write(
+                "serve: %s - %s\n" % (self.address_string(), fmt % args)
+            )
+
+    def _send_text(
+        self,
+        status: int,
+        payload: bytes,
+        headers: Optional[Dict[str, str]] = None,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, obj: Any) -> None:
+        self._send_text(
+            status,
+            (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+            content_type="application/json",
+        )
+
+    def _send_error_text(self, status: int, message: str) -> None:
+        self.state.bump(errors=1)
+        self._send_text(status, (f"error: {message}\n").encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+        self.state.bump(requests=1)
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            self._send_text(200, b"ok\n")
+            return
+        if url.path == "/stats":
+            with self.state.counters_lock:
+                counters = dict(self.state.counters)
+            counters["store_entries"] = len(
+                self.state.store.entry_digests()
+            )
+            counters["store_root"] = str(self.state.store.root)
+            self._send_json(200, counters)
+            return
+        if url.path == "/query":
+            params = parse_qs(url.query)
+
+            def one(name: str) -> Optional[str]:
+                values = params.get(name)
+                return values[-1] if values else None
+
+            seed_text = one("seed")
+            try:
+                seed = None if seed_text is None else int(seed_text)
+            except ValueError:
+                self._send_error_text(400, "seed must be an integer")
+                return
+            rows = self.state.store.query(
+                experiment=one("experiment"),
+                family=one("family"),
+                seed=seed,
+                digest_prefix=one("digest"),
+            )
+            self._send_json(200, rows)
+            return
+        self._send_error_text(404, f"no such endpoint {url.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib name)
+        self.state.bump(requests=1)
+        url = urlsplit(self.path)
+        if url.path != "/run":
+            self._send_error_text(404, f"no such endpoint {url.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send_error_text(400, "bad Content-Length")
+            return
+        if length <= 0:
+            self._send_error_text(400, "POST /run needs a JSON body")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error_text(413, "request body too large")
+            return
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_text(400, f"body is not valid JSON: {exc}")
+            return
+        stream = parse_qs(url.query).get("progress", ["0"])[-1] in (
+            "1", "true", "yes",
+        )
+        try:
+            spec = self.state.spec_for(body)
+            if stream:
+                self._run_streaming(spec)
+            else:
+                rendered, digest, hit, executed = self.state.run(spec)
+                self._send_text(
+                    200,
+                    rendered,
+                    headers={
+                        "X-Repro-Digest": digest,
+                        "X-Repro-Cache": "hit" if hit else "miss",
+                        "X-Repro-Executed": str(executed),
+                    },
+                )
+        except ServeError as exc:
+            self._send_error_text(exc.status, str(exc))
+        except Exception as exc:  # noqa: BLE001 — keep the server up
+            self._send_error_text(
+                500, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _run_streaming(self, spec) -> None:
+        """Chunked variant: ``# ...`` progress lines, then the render."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(data: bytes) -> None:
+            self.wfile.write(b"%x\r\n%s\r\n" % (len(data), data))
+            self.wfile.flush()
+
+        def progress(event: str, job, done: int, total: int) -> None:
+            chunk(
+                f"# [{done}/{total}] {job.label} ({event})\n".encode(
+                    "utf-8"
+                )
+            )
+
+        try:
+            rendered, digest, hit, executed = self.state.run(
+                spec, progress=progress
+            )
+            chunk(
+                f"# digest={digest} cache={'hit' if hit else 'miss'} "
+                f"executed={executed}\n".encode("utf-8")
+            )
+            chunk(rendered)
+        except ServeError as exc:
+            self.state.bump(errors=1)
+            chunk(f"# error: {exc}\n".encode("utf-8"))
+        self.wfile.write(b"0\r\n\r\n")
+
+
+def make_server(
+    store, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the serve front-end.
+
+    Binds immediately — read ``server.server_address`` for the resolved
+    port when asking for port 0 — and runs via ``serve_forever()``.
+    """
+    state = ServeState(store)
+    handler = type(
+        "_BoundHandler", (_Handler,), {"state": state, "quiet": quiet}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.repro_state = state  # for tests and introspection
+    return server
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve scenario reproductions over HTTP, backed by the "
+            "campaign result store."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8037,
+        help="TCP port (0 picks a free one; printed at startup)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store root (default: $REPRO_CACHE_DIR, else "
+        "<repo root>/.repro-cache/campaign)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per request to stderr",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.campaign.store import ResultStore, default_store_root
+
+    store = ResultStore(
+        default_store_root() if args.cache_dir is None else args.cache_dir
+    )
+    server = make_server(
+        store, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (store: {store.root})")
+    print('try: curl -s -X POST -d \'{"family": "churn", "overrides": '
+          f'{{"seconds": 1.0}}}}\' http://{host}:{port}/run')
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""``repro serve``: ScenarioSpec-over-HTTP against the result store.
+
+The contract under test: a POSTed spec renders byte-identical to the
+``repro scenario run`` CLI path, a repeat request is served from the
+store with zero executions, and the store a CLI sweep warmed answers
+serve requests (and vice versa) because both key on the same job
+digest.
+"""
+
+import contextlib
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.serve import make_server
+
+#: One cheap spec, reused across tests (each test gets its own store).
+FAMILY = "churn"
+OVERRIDES = {"seconds": 0.5, "seed": 3}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    srv = make_server(store)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield srv, f"http://{host}:{port}", store
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+def post(base, payload, path="/run"):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    return urllib.request.urlopen(request, timeout=30)
+
+
+def get(base, path):
+    return urllib.request.urlopen(base + path, timeout=30)
+
+
+def cli_render(family, overrides):
+    """What ``python -m repro scenario run`` prints for this spec."""
+    from repro.scenario.cli import main as scenario_main
+
+    args = ["run", family] + [
+        f"--set={k}={v}" for k, v in overrides.items()
+    ]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert scenario_main(args) == 0
+    return buffer.getvalue().encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# the round-trip contract
+# ----------------------------------------------------------------------
+def test_cold_post_renders_byte_identical_to_cli(server):
+    _, base, _ = server
+    response = post(base, {"family": FAMILY, "overrides": OVERRIDES})
+    body = response.read()
+    assert response.headers["X-Repro-Cache"] == "miss"
+    assert response.headers["X-Repro-Executed"] == "1"
+    assert len(response.headers["X-Repro-Digest"]) == 64
+    assert body == cli_render(FAMILY, OVERRIDES)
+
+
+def test_warm_post_serves_from_store_with_zero_executions(server):
+    _, base, _ = server
+    payload = {"family": FAMILY, "overrides": OVERRIDES}
+    cold = post(base, payload)
+    cold_body = cold.read()
+    warm = post(base, payload)
+    assert warm.headers["X-Repro-Cache"] == "hit"
+    assert warm.headers["X-Repro-Executed"] == "0"
+    assert warm.headers["X-Repro-Digest"] == cold.headers["X-Repro-Digest"]
+    assert warm.read() == cold_body
+
+
+def test_full_spec_json_coalesces_with_family_form(server):
+    from repro.scenario.codec import spec_to_json
+    from repro.scenario.registry import build_spec
+
+    _, base, _ = server
+    cold = post(base, {"family": FAMILY, "overrides": OVERRIDES})
+    cold_body = cold.read()
+    spec = build_spec(FAMILY, **OVERRIDES)
+    again = post(base, {"spec": spec_to_json(spec)})
+    # Same spec content -> same digest -> store hit, not a re-run.
+    assert again.headers["X-Repro-Cache"] == "hit"
+    assert again.read() == cold_body
+
+
+def test_cli_sweep_warms_the_serve_store(server, tmp_path):
+    from repro.scenario.cli import main as scenario_main
+
+    _, base, store = server
+    args = [
+        "sweep", FAMILY, "--jobs", "1", "--quiet",
+        "--cache-dir", str(store.root),
+    ] + [f"--set={k}={v}" for k, v in OVERRIDES.items()]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert scenario_main(args) == 0
+    response = post(base, {"family": FAMILY, "overrides": OVERRIDES})
+    assert response.headers["X-Repro-Cache"] == "hit"
+    assert response.headers["X-Repro-Executed"] == "0"
+
+
+def test_progress_streaming_carries_the_same_render(server):
+    _, base, _ = server
+    plain = post(base, {"family": FAMILY, "overrides": OVERRIDES}).read()
+    streamed = post(
+        base,
+        {"family": FAMILY, "overrides": OVERRIDES},
+        path="/run?progress=1",
+    ).read()
+    progress_lines = [
+        line for line in streamed.splitlines() if line.startswith(b"#")
+    ]
+    assert progress_lines  # at least the digest/cache trailer
+    payload = b"".join(
+        line + b"\n"
+        for line in streamed.splitlines()
+        if not line.startswith(b"#")
+    )
+    assert payload == plain
+
+
+# ----------------------------------------------------------------------
+# side endpoints
+# ----------------------------------------------------------------------
+def test_healthz_query_stats(server):
+    _, base, _ = server
+    assert get(base, "/healthz").read() == b"ok\n"
+    post(base, {"family": FAMILY, "overrides": OVERRIDES}).read()
+    rows = json.loads(get(base, f"/query?family={FAMILY}").read())
+    assert len(rows) == 1
+    digest, meta = rows[0]
+    assert meta["family"] == FAMILY and meta["experiment"] == "scenario"
+    assert json.loads(get(base, "/query?family=nonesuch").read()) == []
+    stats = json.loads(get(base, "/stats").read())
+    assert stats["store_entries"] == 1
+    assert stats["executed"] == 1
+
+
+# ----------------------------------------------------------------------
+# error handling: bad requests never kill the server
+# ----------------------------------------------------------------------
+def expect_error(base, payload, status, path="/run"):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        post(base, payload, path=path)
+    assert err.value.code == status
+    return err.value.read().decode()
+
+
+def test_error_paths(server):
+    _, base, _ = server
+    assert "unknown scenario family" in expect_error(
+        base, {"family": "nonesuch"}, 404
+    )
+    assert "either 'spec' or 'family'" in expect_error(base, {}, 400)
+    expect_error(base, {"family": FAMILY, "overrides": {"bogus": 1}}, 400)
+    expect_error(base, [1, 2, 3], 400)  # body must be an object
+    # Malformed raw body
+    request = urllib.request.Request(
+        base + "/run", data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request, timeout=30)
+    assert err.value.code == 400
+    # Unknown endpoints
+    with pytest.raises(urllib.error.HTTPError) as err:
+        get(base, "/nonesuch")
+    assert err.value.code == 404
+    # The server is still alive and serving after all of that.
+    assert get(base, "/healthz").read() == b"ok\n"
+
+
+def test_spec_decode_refuses_untrusted_dataclass(server):
+    _, base, _ = server
+    hostile = {
+        "spec": {
+            "@dataclass": ["subprocess:Popen", [["args", "x"]]],
+        }
+    }
+    message = expect_error(base, hostile, 400)
+    assert "refusing dataclass path" in message
