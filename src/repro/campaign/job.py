@@ -95,6 +95,14 @@ def thaw(value: Any) -> Any:
         if tag == _TAG_SET:
             return frozenset(thaw(v) for v in value[1])
         cls = _resolve_symbol(value[1])
+        # freeze() only ever emits @dataclass nodes for dataclass
+        # instances, so anything else here is a forged tree (e.g. a
+        # decoded request body naming an arbitrary callable).
+        if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+            raise ValueError(
+                f"refusing to thaw {value[1]!r}: resolved object is not "
+                "a dataclass"
+            )
         return cls(**{name: thaw(v) for name, v in value[2]})
     return value
 

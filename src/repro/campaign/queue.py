@@ -249,10 +249,14 @@ def _read_envelope(path: Path) -> Optional[Dict[str, Any]]:
 
 
 def spool_drained(root) -> bool:
-    """No job is queued or leased (backoff-delayed jobs still count)."""
+    """No job is queued or leased (backoff-delayed jobs still count).
+
+    ``*.job*`` also matches in-flight/stranded ``*.job.reclaim.<pid>``
+    files, which still hold a live envelope.
+    """
     dirs = _dirs(Path(root))
     return not any(dirs["jobs"].glob("*.job")) and not any(
-        dirs["claims"].glob("*.job")
+        dirs["claims"].glob("*.job*")
     )
 
 
@@ -437,7 +441,10 @@ def claim_next(
     now = time.time() if now is None else now
     dirs = _dirs(root)
     entries = sorted(dirs["jobs"].glob("*.job"))
-    saw_pending = bool(entries) or any(dirs["claims"].glob("*.job"))
+    # "*.job*" counts leased claims AND stranded ".job.reclaim.<pid>"
+    # files: an interrupted reclaim still holds a live envelope, so the
+    # spool is not drained until reclaim_expired sweeps it back.
+    saw_pending = bool(entries) or any(dirs["claims"].glob("*.job*"))
     for path in entries:
         env = _read_envelope(path)
         if env is None:
@@ -449,6 +456,14 @@ def claim_next(
             os.rename(path, claim_path)
         except OSError:
             continue  # lost the race to another claimant
+        try:
+            # rename preserves mtime (= enqueue time); lease freshness
+            # must start *now*, or a job that sat queued longer than
+            # lease_s is reclaimable the instant it is claimed — before
+            # the heartbeat file exists.
+            os.utime(claim_path)
+        except OSError:
+            pass
         return "claimed", env["digest"], env["job"], claim_path
     return ("wait" if saw_pending else "empty"), None, None, None
 
@@ -459,9 +474,14 @@ class _Lease(threading.Thread):
     Touches the heartbeat file so other participants see the lease as
     live; if the spool policy has a ``timeout_s`` and the job overruns
     it, the lease books a ``timeout`` attempt (requeue or quarantine —
-    same decision the pool supervisor would make) and hard-exits the
-    wedged worker process, which is the only way to stop a hung
-    simulation without an external killer.
+    same decision the pool supervisor would make) and, in a real worker
+    process, hard-exits it — the only way to stop a hung simulation
+    without an external killer.  A *coordinating* process (an
+    in-process ``participate=True`` embedder, or ``repro serve``) must
+    survive its jobs, so there the lease only books the attempt and
+    releases the claim, leaving the overrunning call to finish in
+    place (results are idempotent by digest, so a racing re-execution
+    is harmless).
     """
 
     def __init__(
@@ -499,6 +519,7 @@ class _Lease(threading.Thread):
                 timeout_s is not None
                 and time.monotonic() - self.started_at > timeout_s
             ):
+                exiting = faults_mod.in_worker
                 try:
                     if self.claim_path.exists():
                         _fail_attempt(
@@ -510,26 +531,92 @@ class _Lease(threading.Thread):
                             kind="timeout",
                             detail=(
                                 f"exceeded {timeout_s:g}s wall clock; "
-                                f"worker pid {os.getpid()} self-terminated"
+                                + (
+                                    f"worker pid {os.getpid()} "
+                                    "self-terminated"
+                                    if exiting
+                                    else f"coordinator pid {os.getpid()} "
+                                    "released the claim"
+                                )
                             ),
                             pid=os.getpid(),
                             claim_path=self.claim_path,
                         )
                 finally:
-                    # A hung simulation cannot be interrupted from a
-                    # thread; exiting the process is the kill.
-                    os._exit(124)
+                    if exiting:
+                        # A hung simulation cannot be interrupted from
+                        # a thread; exiting the process is the kill.
+                        os._exit(124)
+                return
 
     def release(self) -> None:
         self.stop_event.set()
         self.join(timeout=1.0)
 
 
+def _take_for_reclaim(claim: Path) -> Optional[Path]:
+    """Rename ``claim`` into this process's reclaim name, fresh-stamped.
+
+    The rename either wins or loses to a concurrent reclaimer; the
+    ``utime`` marks the reclaim-in-progress as live so nobody sweeps it
+    out from under us while we book the attempt.
+    """
+    base = claim.name.split(".reclaim.")[0]
+    taken = claim.with_name(f"{base}.reclaim.{os.getpid()}")
+    try:
+        os.rename(claim, taken)
+    except OSError:
+        return None  # another reclaimer won
+    try:
+        os.utime(taken)
+    except OSError:
+        pass
+    return taken
+
+
+def _book_expired(root: Path, cfg: SpoolConfig, taken: Path) -> bool:
+    """Book the crashed attempt for a claim already renamed to ``taken``."""
+    env = _read_envelope(taken)
+    if env is None:
+        _release(taken)
+        return False
+    digest, job = env["digest"], env["job"]
+    hb = _dirs(root)["claims"] / f"{digest}.hb"
+    owner_pid = None
+    try:
+        owner_pid = json.loads(hb.read_text()).get("pid")
+    except (OSError, ValueError):
+        pass
+    attempt = len(_attempt_lines(root, digest)) + 1
+    _fail_attempt(
+        root,
+        cfg,
+        digest,
+        job,
+        attempt,
+        kind="crash",
+        detail=(
+            f"lease expired after {cfg.lease_s:g}s without a "
+            f"heartbeat (worker pid {owner_pid} presumed dead)"
+        ),
+        pid=owner_pid,
+        claim_path=taken,
+    )
+    try:
+        hb.unlink()
+    except OSError:
+        pass
+    return True
+
+
 def reclaim_expired(root, cfg: SpoolConfig) -> int:
     """Requeue (or quarantine) claims whose heartbeat went stale.
 
     Reclaim itself is claim-by-rename too, so concurrent reclaimers
-    cannot double-book the crashed attempt.
+    cannot double-book the crashed attempt.  A reclaimer that dies
+    between its rename and the booking strands the envelope under
+    ``<name>.job.reclaim.<pid>`` — a name no ``*.job`` glob matches —
+    so stale reclaim files are themselves swept as expired claims.
     """
     root = Path(root)
     dirs = _dirs(root)
@@ -546,41 +633,18 @@ def reclaim_expired(root, cfg: SpoolConfig) -> int:
                 continue
         if now - ref <= cfg.lease_s:
             continue
-        taken = claim.with_name(f"{claim.name}.reclaim.{os.getpid()}")
+        taken = _take_for_reclaim(claim)
+        if taken is not None and _book_expired(root, cfg, taken):
+            reclaimed += 1
+    for stranded in sorted(dirs["claims"].glob("*.job.reclaim.*")):
         try:
-            os.rename(claim, taken)
+            if now - stranded.stat().st_mtime <= cfg.lease_s:
+                continue  # its reclaimer may still be booking it
         except OSError:
-            continue  # another reclaimer won
-        owner_pid = None
-        try:
-            owner_pid = json.loads(hb.read_text()).get("pid")
-        except (OSError, ValueError):
-            pass
-        env = _read_envelope(taken)
-        if env is None:
-            _release(taken)
             continue
-        digest, job = env["digest"], env["job"]
-        attempt = len(_attempt_lines(root, digest)) + 1
-        _fail_attempt(
-            root,
-            cfg,
-            digest,
-            job,
-            attempt,
-            kind="crash",
-            detail=(
-                f"lease expired after {cfg.lease_s:g}s without a "
-                f"heartbeat (worker pid {owner_pid} presumed dead)"
-            ),
-            pid=owner_pid,
-            claim_path=taken,
-        )
-        try:
-            hb.unlink()
-        except OSError:
-            pass
-        reclaimed += 1
+        taken = _take_for_reclaim(stranded)
+        if taken is not None and _book_expired(root, cfg, taken):
+            reclaimed += 1
     return reclaimed
 
 

@@ -14,8 +14,9 @@ JSON are thawed and re-frozen through the dataclass itself, so a client
 need not reproduce ``freeze``'s canonical ordering to hit the cache.
 
 Decoding is deliberately narrow: ``@dataclass`` nodes may only name
-classes inside the ``repro.`` package, so a request body can never make
-the server import or instantiate arbitrary code.
+symbols inside the ``repro.`` package, and ``thaw`` itself refuses to
+call anything that is not a dataclass type, so a request body can never
+make the server import or invoke arbitrary code.
 """
 
 from __future__ import annotations

@@ -290,6 +290,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
 
+        # Headers and progress chunks are already on the wire, so no
+        # failure past this point may fall through to do_POST's
+        # catch-all (a second send_response would corrupt the framing):
+        # report errors as a final chunk and always terminate the body.
         try:
             rendered, digest, hit, executed = self.state.run(
                 spec, progress=progress
@@ -299,10 +303,22 @@ class _Handler(BaseHTTPRequestHandler):
                 f"executed={executed}\n".encode("utf-8")
             )
             chunk(rendered)
-        except ServeError as exc:
+        except Exception as exc:  # noqa: BLE001 — keep the framing valid
             self.state.bump(errors=1)
-            chunk(f"# error: {exc}\n".encode("utf-8"))
-        self.wfile.write(b"0\r\n\r\n")
+            message = (
+                str(exc)
+                if isinstance(exc, ServeError)
+                else f"{type(exc).__name__}: {exc}"
+            )
+            try:
+                chunk(f"# error: {message}\n".encode("utf-8"))
+            except OSError:
+                pass  # client hung up mid-stream
+        finally:
+            try:
+                self.wfile.write(b"0\r\n\r\n")
+            except OSError:
+                pass
 
 
 def make_server(

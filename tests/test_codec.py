@@ -114,6 +114,31 @@ def test_decode_refuses_untrusted_dataclass_path():
         decode_tree({"@dataclass": ["os.path:join", []]})
 
 
+def test_thaw_refuses_in_package_non_dataclass():
+    # A forged node can pass the 'repro.' prefix gate while naming a
+    # plain function or class; thaw must refuse to call it rather than
+    # invoke it with attacker-chosen kwargs.
+    with pytest.raises(ValueError, match="not a dataclass"):
+        thaw(("@dataclass", "repro.campaign.job:freeze", (("value", 1),)))
+    with pytest.raises(ValueError, match="not a dataclass"):
+        thaw(("@dataclass", "repro.scenario.codec:CodecError", ()))
+
+
+def test_spec_from_json_refuses_in_package_non_dataclass():
+    hostile = {"@dataclass": ["repro.campaign.job:freeze", [["value", 1]]]}
+    with pytest.raises(CodecError, match="not a dataclass"):
+        spec_from_json(hostile)
+    # Nested nodes are instantiated before the outer ScenarioSpec type
+    # check, so the gate must hold there too.
+    spec = build_spec("churn")
+    encoded = spec_to_json(spec)
+    (tag, body), = encoded.items()
+    cls_path, fields = body
+    nested = [[fields[0][0], hostile]] + [list(f) for f in fields[1:]]
+    with pytest.raises(CodecError, match="not a dataclass"):
+        spec_from_json({tag: [cls_path, nested]})
+
+
 def test_decode_rejects_malformed_nodes():
     with pytest.raises(CodecError):
         decode_tree({"@tuple": [1], "@set": [2]})  # two keys

@@ -198,3 +198,42 @@ def test_spec_decode_refuses_untrusted_dataclass(server):
     }
     message = expect_error(base, hostile, 400)
     assert "refusing dataclass path" in message
+
+
+def test_spec_decode_refuses_in_package_non_dataclass(server):
+    """An in-package path passes the prefix gate but must still be
+    refused unless it resolves to a dataclass — a request body may not
+    invoke arbitrary repro.* callables."""
+    _, base, _ = server
+    hostile = {
+        "spec": {
+            "@dataclass": ["repro.campaign.job:freeze", [["value", 1]]],
+        }
+    }
+    message = expect_error(base, hostile, 400)
+    assert "not a dataclass" in message
+
+
+def test_streaming_error_still_terminates_the_chunked_body(server):
+    """An unexpected exception after the chunked headers are on the
+    wire must surface as a '# error:' chunk plus the 0-chunk
+    terminator — never a second status line mid-stream."""
+    srv, base, _ = server
+    state = srv.repro_state
+    original = state.run
+
+    def boom(spec, progress=None):
+        raise RuntimeError("kaboom mid-stream")
+
+    state.run = boom
+    try:
+        response = post(
+            base,
+            {"family": FAMILY, "overrides": OVERRIDES},
+            path="/run?progress=1",
+        )
+        body = response.read()  # only returns if the terminator arrived
+    finally:
+        state.run = original
+    assert b"# error: RuntimeError: kaboom mid-stream" in body
+    assert get(base, "/healthz").read() == b"ok\n"

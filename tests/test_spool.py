@@ -141,6 +141,89 @@ def test_reclaim_books_crash_attempt_and_requeues(tmp_path):
     q._release(claim2)
 
 
+def test_long_queued_job_is_not_reclaimed_at_claim_time(tmp_path):
+    """os.rename preserves mtime, so a claim of a job that sat queued
+    longer than lease_s would look instantly expired in the window
+    before the heartbeat exists; claim_next must re-stamp it."""
+    cfg = q.SpoolConfig(
+        store_root=str(tmp_path / "store"),
+        retry=fast_retry(),
+        lease_s=0.2,
+    )
+    root = tmp_path / "spool"
+    job = echo_jobs(1)[0]
+    q.enqueue(root, cfg, [(job.digest, job)])
+    envelope = q._dirs(q.init_spool(root))["jobs"] / f"{job.digest}.job"
+    stale = time.time() - 10.0
+    os.utime(envelope, (stale, stale))
+    status, _, _, claim = q.claim_next(root)
+    assert status == "claimed"
+    # No heartbeat yet — the lease must still count as fresh.
+    assert q.reclaim_expired(root, cfg) == 0
+    assert claim.exists()
+    q._release(claim)
+
+
+def test_interrupted_reclaim_is_itself_reclaimed(tmp_path):
+    """A reclaimer that dies between its rename and the booking leaves
+    '<digest>.job.reclaim.<pid>' behind; the envelope must stay visible
+    as pending work and be swept back into play, not lost forever."""
+    cfg = q.SpoolConfig(
+        store_root=str(tmp_path / "store"),
+        retry=fast_retry(),
+        lease_s=0.1,
+    )
+    root = tmp_path / "spool"
+    job = echo_jobs(1)[0]
+    q.enqueue(root, cfg, [(job.digest, job)])
+    status, digest, _, claim = q.claim_next(root)
+    assert status == "claimed"
+    stranded = claim.with_name(f"{claim.name}.reclaim.99999999")
+    os.rename(claim, stranded)
+    stale = time.time() - 1.0
+    os.utime(stranded, (stale, stale))
+    assert not q.spool_drained(root)
+    assert q.claim_next(root)[0] == "wait"
+    assert q.reclaim_expired(root, cfg) == 1
+    lines = q._attempt_lines(root, digest)
+    assert len(lines) == 1 and lines[0]["kind"] == "crash"
+    status2, digest2, _, claim2 = q.claim_next(root, now=time.time() + 5)
+    assert status2 == "claimed" and digest2 == digest
+    q._release(claim2)
+
+
+def test_lease_timeout_spares_a_coordinating_process(tmp_path, monkeypatch):
+    """With in_worker unset (participate=True embedders, repro serve),
+    a job overrunning timeout_s books the timeout attempt and releases
+    the claim but must NOT os._exit the whole process."""
+    from repro.campaign import faults as faults_mod
+
+    monkeypatch.setattr(faults_mod, "in_worker", False)
+    cfg = q.SpoolConfig(
+        store_root=str(tmp_path / "store"),
+        retry=fast_retry(),
+        timeout_s=0.05,
+        lease_s=5.0,
+    )
+    root = q.init_spool(tmp_path / "spool")
+    job = echo_jobs(1)[0]
+    q.enqueue(root, cfg, [(job.digest, job)])
+    status, digest, claimed_job, claim = q.claim_next(root)
+    assert status == "claimed"
+    lease = q._Lease(root, cfg, digest, claimed_job, 1, claim)
+    lease.interval = 0.02
+    lease.start()
+    deadline = time.time() + 5.0
+    while time.time() < deadline and not q._attempt_lines(root, digest):
+        time.sleep(0.01)
+    lease.release()
+    # Reaching this line at all is the point: the process survived.
+    lines = q._attempt_lines(root, digest)
+    assert len(lines) == 1 and lines[0]["kind"] == "timeout"
+    assert "released the claim" in lines[0]["detail"]
+    assert not claim.exists()  # requeued for another participant
+
+
 def test_live_lease_is_not_reclaimed(tmp_path):
     cfg = q.SpoolConfig(
         store_root=str(tmp_path / "store"),
